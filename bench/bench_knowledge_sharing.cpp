@@ -1,0 +1,39 @@
+// Reproduces §VI-D (Knowledge Sharing): two Kalis nodes monitor two portions
+// of a ZigBee network while colluding relays B1/B2 run a wormhole. With
+// collective knowledge the nodes correlate B1's blackhole symptom with B2's
+// unexplained traffic and classify the wormhole; without it, each node is
+// stuck with its partial view.
+#include <cstdio>
+
+#include "scenarios/scenarios.hpp"
+
+using namespace kalis;
+
+int main() {
+  std::printf("Sec. VI-D: collaborative wormhole detection (2 Kalis nodes)\n\n");
+  std::printf("%-28s %12s %12s %10s %8s\n", "Configuration", "Wormhole?",
+              "Blackhole?", "DR", "Kwg-sync");
+
+  for (bool collaborative : {true, false}) {
+    double dr = 0;
+    int wormhole = 0;
+    int blackholeOnly = 0;
+    std::size_t sync = 0;
+    constexpr int kSeeds = 5;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const auto result = scenarios::runWormhole(7000 + seed, collaborative);
+      dr += result.combined.detectionRate() / kSeeds;
+      wormhole += result.wormholeClassified ? 1 : 0;
+      blackholeOnly += result.blackholeOnly ? 1 : 0;
+      sync += result.collectiveExchanged;
+    }
+    std::printf("%-28s %11d/%d %11d/%d %9.0f%% %8zu\n",
+                collaborative ? "collective knowledge ON" : "collective knowledge OFF",
+                wormhole, kSeeds, blackholeOnly, kSeeds, dr * 100, sync / kSeeds);
+  }
+  std::printf(
+      "\nExpected shape (paper): with knowledge sharing the colluding pair is\n"
+      "correctly identified as a wormhole; without it, the observing node\n"
+      "reports only a blackhole and the re-injection side goes unexplained.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot paths — the
+// Knowledge Base key-value operations (Fig. 5b encoding), packet encode/
+// dissect, the Kalis engine per packet, and the Snort-like rule engine per
+// packet. These quantify the per-packet cost asymmetry behind Table II's
+// CPU column.
+#include <benchmark/benchmark.h>
+
+#include "baseline/snort_engine.hpp"
+#include "kalis/kalis_node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+using namespace kalis;
+
+namespace {
+
+net::CapturedPacket makeIcmpPacket(std::uint64_t i) {
+  net::Ipv4Header ip;
+  ip.src = net::Ipv4Addr{0x0a000001u + static_cast<std::uint32_t>(i % 5)};
+  ip.dst = net::Ipv4Addr{0x0a000010u};
+  ip.protocol = net::IpProto::kIcmp;
+  net::IcmpMessage echo;
+  echo.type = net::IcmpType::kEchoRequest;
+  echo.sequence = static_cast<std::uint16_t>(i);
+  echo.payload = bytesOf("abcdefgh12345678");
+
+  net::WifiFrame frame;
+  frame.kind = net::WifiFrameKind::kData;
+  frame.dst = net::Mac48{{2, 0, 0, 0, 0, 1}};
+  frame.src = net::Mac48{{2, 0, 0, 0, 0, 2}};
+  frame.bssid = net::Mac48{{2, 0, 0, 0, 0, 3}};
+  frame.body = net::llcSnapWrap(net::kEthertypeIpv4,
+                                BytesView(ip.encode(echo.encode())));
+  net::CapturedPacket pkt;
+  pkt.medium = net::Medium::kWifi;
+  pkt.raw = frame.encode();
+  pkt.meta.timestamp = i * 1000;
+  pkt.meta.rssiDbm = -60.0;
+  return pkt;
+}
+
+void BM_KnowledgeBasePut(benchmark::State& state) {
+  ids::KnowledgeBase kb("K1");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    kb.putDouble("TrafficFrequency.TCPSYN", static_cast<double>(i % 97));
+    ++i;
+  }
+}
+BENCHMARK(BM_KnowledgeBasePut);
+
+void BM_KnowledgeBaseLookup(benchmark::State& state) {
+  ids::KnowledgeBase kb("K1");
+  for (int i = 0; i < 256; ++i) {
+    kb.putInt("SignalStrength", -60 - i % 30, "0x" + std::to_string(i));
+  }
+  kb.putBool("Multihop", true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kb.localBool("Multihop"));
+  }
+}
+BENCHMARK(BM_KnowledgeBaseLookup);
+
+void BM_KnowledgeBaseEntityScan(benchmark::State& state) {
+  ids::KnowledgeBase kb("K1");
+  for (int i = 0; i < 256; ++i) {
+    kb.putInt("SignalStrength", -60 - i % 30, "0x" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kb.byEntity("0x128"));
+  }
+}
+BENCHMARK(BM_KnowledgeBaseEntityScan);
+
+void BM_Dissect(benchmark::State& state) {
+  const net::CapturedPacket pkt = makeIcmpPacket(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::dissect(pkt));
+  }
+}
+BENCHMARK(BM_Dissect);
+
+void BM_KalisEnginePerPacket(benchmark::State& state) {
+  sim::Simulator simulator(1);
+  ids::KalisNode node(simulator);
+  node.useStandardLibrary();
+  node.start();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    node.feed(makeIcmpPacket(i++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_KalisEnginePerPacket);
+
+void BM_SnortEnginePerPacket(benchmark::State& state) {
+  baseline::SnortEngine engine;
+  engine.loadRules(baseline::communityRuleset());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    engine.onPacket(makeIcmpPacket(i++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_SnortEnginePerPacket);
+
+void BM_TraceRoundTrip(benchmark::State& state) {
+  trace::Trace traceData;
+  for (std::uint64_t i = 0; i < 64; ++i) traceData.push_back(makeIcmpPacket(i));
+  for (auto _ : state) {
+    const Bytes bytes = trace::serializeTrace(traceData);
+    benchmark::DoNotOptimize(trace::readTrace(BytesView(bytes)));
+  }
+}
+BENCHMARK(BM_TraceRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

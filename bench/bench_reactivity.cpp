@@ -1,0 +1,33 @@
+// Reproduces §VI-C (Reactivity to Environment Changes): Kalis starts with no
+// detection module active and no a-priori knowledge; a mote carries out
+// selective forwarding from the first packets. The Topology Discovery
+// module must detect the multi-hop feature from the first CTP packets and
+// pull the selective-forwarding module in, catching 100% of the attacks.
+#include <cstdio>
+
+#include "scenarios/scenarios.hpp"
+
+using namespace kalis;
+
+int main() {
+  std::printf("Sec. VI-C: reactivity of dynamic module configuration\n\n");
+  std::printf("%-6s %-22s %-14s %-12s %-10s\n", "Seed", "Det. modules at t=0",
+              "Activated at", "First alert", "DR");
+  double dr = 0;
+  constexpr int kSeeds = 5;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto result = scenarios::runReactivity(500 + seed);
+    std::printf("%-6d %-22zu %11.1fs %10.1fs %8.0f%%\n", 500 + seed,
+                result.detectionModulesActiveAtStart,
+                toSeconds(result.activationTime),
+                toSeconds(result.firstAlertTime),
+                result.detectionRate * 100.0);
+    dr += result.detectionRate / kSeeds;
+  }
+  std::printf("\nAverage detection rate from cold start: %.0f%%\n", dr * 100.0);
+  std::printf(
+      "Paper: \"Kalis correctly identifies 100%% of the selective forwarding\n"
+      "attacks from the very beginning of the communications, even with no\n"
+      "detection modules initially active.\"\n");
+  return 0;
+}

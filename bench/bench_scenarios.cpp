@@ -1,0 +1,89 @@
+// Detailed view of the two §VI-B experimental scenarios, including the
+// countermeasure outcomes the paper narrates:
+//
+//  - §VI-B1 (ICMP flood, single-hop): "Kalis correctly revokes only the
+//    attacking node, while the traditional IDS attempts to revoke the only
+//    node two hops away from the victim, which in a simplistic graph
+//    exploration is the victim node itself".
+//  - §VI-B2 (replication, static<->mobile): "the traditional IDS misses
+//    some attacks when the active module is not the one suitable for the
+//    current mobility profile of the network".
+#include <cstdio>
+
+#include "scenarios/scenarios.hpp"
+
+using namespace kalis;
+using scenarios::ScenarioResult;
+using scenarios::SystemKind;
+
+namespace {
+
+void printRow(const ScenarioResult& r) {
+  if (r.notApplicable) {
+    std::printf("  %-11s %8s %8s %9s %9s   (cannot observe this traffic)\n",
+                scenarios::systemName(r.system), "n/a", "n/a", "n/a", "n/a");
+    return;
+  }
+  std::printf("  %-11s %7.0f%% %7.0f%% %8.2f%% %8.1fMB  revoked: %zu attacker(s), %zu innocent(s)\n",
+              scenarios::systemName(r.system), r.detectionRate() * 100,
+              r.accuracy() * 100, r.cpuPercent, r.ramMb,
+              r.counter.revokedAttackers.size(),
+              r.counter.revokedInnocents.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sec. VI-B1: ICMP Flood attack on a single-hop network\n");
+  std::printf("  %-11s %8s %8s %9s %9s\n", "System", "DR", "Acc", "CPU", "RAM");
+  ScenarioResult kalisB1 = scenarios::runIcmpFlood(SystemKind::kKalis, 42);
+  ScenarioResult tradB1 =
+      scenarios::runIcmpFlood(SystemKind::kTraditionalIds, 42);
+  ScenarioResult snortB1 = scenarios::runIcmpFlood(SystemKind::kSnort, 42);
+  printRow(tradB1);
+  printRow(snortB1);
+  printRow(kalisB1);
+  for (const std::string& innocent : tradB1.counter.revokedInnocents) {
+    std::printf(
+        "  -> traditional IDS collateral: revoked %s (the victim itself,\n"
+        "     via the 2-hop Smurf suspect heuristic on a star topology)\n",
+        innocent.c_str());
+  }
+
+  std::printf("\nSec. VI-B2: Replication attack on a static<->mobile network\n");
+  std::printf("  (3 replicas per run; traditional IDS loads one randomly\n");
+  std::printf("   chosen replication module per run)\n\n");
+  std::printf("  %-6s | %-18s | %-18s\n", "Run", "Kalis DR / Acc",
+              "Trad DR / Acc");
+  constexpr int kRuns = 10;
+  double kalisDr = 0, tradDr = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto kalisRun =
+        scenarios::runReplication(SystemKind::kKalis, 1000 + run);
+    const auto tradRun =
+        scenarios::runReplication(SystemKind::kTraditionalIds, 1000 + run);
+    std::printf("  %-6d |    %3.0f%% / %3.0f%%    |    %3.0f%% / %3.0f%%\n",
+                run, kalisRun.detectionRate() * 100, kalisRun.accuracy() * 100,
+                tradRun.detectionRate() * 100, tradRun.accuracy() * 100);
+    kalisDr += kalisRun.detectionRate() / kRuns;
+    tradDr += tradRun.detectionRate() / kRuns;
+  }
+  std::printf("  %-6s |    %3.0f%%          |    %3.0f%%\n", "AVG",
+              kalisDr * 100, tradDr * 100);
+  std::printf(
+      "\n  Kalis follows the Mobility knowgget and always runs the right\n"
+      "  module; the traditional IDS's static choice misses the attacks\n"
+      "  that land in the other mobility regime.\n");
+
+  std::printf("\nCountermeasure effectiveness, measured live (diamond WSN,\n");
+  std::printf("blackholing relay, alerts drive automatic revocation):\n\n");
+  std::printf("  %-26s %s\n", "Response driver", "legit delivery ratio");
+  const auto live = scenarios::runLiveCountermeasure(1);
+  std::printf("  %-26s %18.0f%%\n", "none (attack unmitigated)",
+              live.deliveryNoResponse * 100);
+  std::printf("  %-26s %18.0f%%   revokes only the attacker\n", "Kalis",
+              live.deliveryKalis * 100);
+  std::printf("  %-26s %18.0f%%   also revokes the base station\n",
+              "Trad. IDS", live.deliveryTraditional * 100);
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "kalis/alert.hpp"
+
+#include <sstream>
+
+namespace kalis::ids {
+
+const char* attackName(AttackType t) {
+  switch (t) {
+    case AttackType::kNone: return "None";
+    case AttackType::kIcmpFlood: return "ICMPFlood";
+    case AttackType::kSmurf: return "Smurf";
+    case AttackType::kSynFlood: return "SYNFlood";
+    case AttackType::kSelectiveForwarding: return "SelectiveForwarding";
+    case AttackType::kBlackhole: return "Blackhole";
+    case AttackType::kWormhole: return "Wormhole";
+    case AttackType::kReplication: return "Replication";
+    case AttackType::kSybil: return "Sybil";
+    case AttackType::kSinkhole: return "Sinkhole";
+    case AttackType::kDataAlteration: return "DataAlteration";
+    case AttackType::kHelloFlood: return "HelloFlood";
+    case AttackType::kDeauthFlood: return "DeauthFlood";
+    case AttackType::kUnknownAnomaly: return "UnknownAnomaly";
+  }
+  return "?";
+}
+
+std::string toString(const Alert& a) {
+  std::ostringstream oss;
+  oss << "[" << toSeconds(a.time) << "s] " << attackName(a.type) << " by "
+      << a.moduleName << " victim=" << (a.victimEntity.empty() ? "-" : a.victimEntity)
+      << " suspects={";
+  for (std::size_t i = 0; i < a.suspectEntities.size(); ++i) {
+    if (i) oss << ",";
+    oss << a.suspectEntities[i];
+  }
+  oss << "}";
+  if (!a.detail.empty()) oss << " : " << a.detail;
+  return oss.str();
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,48 @@
+// Attack taxonomy ids and the alert record detection modules emit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace kalis::ids {
+
+/// Attacks covered by the detection-module library (paper §III-B, Fig. 3).
+enum class AttackType : std::uint8_t {
+  kNone = 0,
+  kIcmpFlood,
+  kSmurf,
+  kSynFlood,
+  kSelectiveForwarding,
+  kBlackhole,
+  kWormhole,
+  kReplication,
+  kSybil,
+  kSinkhole,
+  kDataAlteration,
+  kHelloFlood,
+  kDeauthFlood,
+  kUnknownAnomaly,
+};
+
+const char* attackName(AttackType t);
+inline constexpr std::size_t kNumAttackTypes =
+    static_cast<std::size_t>(AttackType::kUnknownAnomaly) + 1;
+
+/// A detection event raised by a module and routed to subscribed parties
+/// (alert log, countermeasure engine, SIEM export).
+struct Alert {
+  AttackType type = AttackType::kNone;
+  SimTime time = 0;
+  std::string moduleName;
+  std::string victimEntity;                 ///< entity id of the target
+  std::vector<std::string> suspectEntities; ///< entities to act against
+  std::string detail;
+  double confidence = 1.0;
+};
+
+std::string toString(const Alert& a);
+
+}  // namespace kalis::ids

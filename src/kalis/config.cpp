@@ -1,0 +1,250 @@
+#include "kalis/config.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace kalis::ids {
+
+namespace {
+
+enum class TokKind { kIdent, kEquals, kLbrace, kRbrace, kLparen, kRparen, kComma, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    if (pos_ >= text_.size()) return Token{TokKind::kEnd, "", line_};
+    const char c = text_[pos_];
+    switch (c) {
+      case '=': ++pos_; return Token{TokKind::kEquals, "=", line_};
+      case '{': ++pos_; return Token{TokKind::kLbrace, "{", line_};
+      case '}': ++pos_; return Token{TokKind::kRbrace, "}", line_};
+      case '(': ++pos_; return Token{TokKind::kLparen, "(", line_};
+      case ')': ++pos_; return Token{TokKind::kRparen, ")", line_};
+      case ',': ++pos_; return Token{TokKind::kComma, ",", line_};
+      default: break;
+    }
+    // Identifier / value atom: everything up to a structural character.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && !isStructural(text_[pos_]) &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      ++pos_;  // skip the offending character; caller reports the error
+      return Token{TokKind::kIdent, std::string(1, c), line_};
+    }
+    return Token{TokKind::kIdent, std::string(text_.substr(start, pos_ - start)),
+                 line_};
+  }
+
+ private:
+  static bool isStructural(char c) {
+    return c == '=' || c == '{' || c == '}' || c == '(' || c == ')' || c == ',' ||
+           c == '#';
+  }
+
+  void skipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  ConfigParseResult parse() {
+    ConfigParseResult result;
+    while (cur_.kind != TokKind::kEnd) {
+      if (cur_.kind != TokKind::kIdent) return fail("expected section name");
+      if (cur_.text == "modules") {
+        if (!parseModules(result.config)) return fail(error_);
+      } else if (cur_.text == "knowggets") {
+        if (!parseKnowggets(result.config)) return fail(error_);
+      } else {
+        return fail("unknown section '" + cur_.text + "'");
+      }
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  bool expect(TokKind kind, const char* what) {
+    if (cur_.kind != kind) {
+      error_ = std::string("expected ") + what + ", got '" + cur_.text + "'";
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  ConfigParseResult fail(const std::string& message) {
+    ConfigParseResult result;
+    result.ok = false;
+    result.error = "line " + std::to_string(cur_.line) + ": " + message;
+    result.errorLine = cur_.line;
+    return result;
+  }
+
+  bool parseModules(KalisConfig& config) {
+    advance();  // "modules"
+    if (!expect(TokKind::kEquals, "'='")) return false;
+    if (!expect(TokKind::kLbrace, "'{'")) return false;
+    if (cur_.kind == TokKind::kRbrace) {  // empty list
+      advance();
+      return true;
+    }
+    for (;;) {
+      if (cur_.kind != TokKind::kIdent) {
+        error_ = "expected module name";
+        return false;
+      }
+      ModuleSpec spec;
+      spec.name = cur_.text;
+      advance();
+      if (cur_.kind == TokKind::kLparen) {
+        advance();
+        if (cur_.kind != TokKind::kRparen) {
+          for (;;) {
+            std::string key, value;
+            if (!parseKeyValue(key, value)) return false;
+            spec.params[key] = value;
+            if (cur_.kind == TokKind::kComma) {
+              advance();
+              continue;
+            }
+            break;
+          }
+        }
+        if (!expect(TokKind::kRparen, "')'")) return false;
+      }
+      config.modules.push_back(std::move(spec));
+      if (cur_.kind == TokKind::kComma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    return expect(TokKind::kRbrace, "'}'");
+  }
+
+  bool parseKnowggets(KalisConfig& config) {
+    advance();  // "knowggets"
+    if (!expect(TokKind::kEquals, "'='")) return false;
+    if (!expect(TokKind::kLbrace, "'{'")) return false;
+    if (cur_.kind == TokKind::kRbrace) {
+      advance();
+      return true;
+    }
+    for (;;) {
+      std::string key, value;
+      if (!parseKeyValue(key, value)) return false;
+      StaticKnowgget k;
+      const std::size_t at = key.rfind('@');
+      if (at != std::string::npos) {
+        k.label = key.substr(0, at);
+        k.entity = key.substr(at + 1);
+      } else {
+        k.label = key;
+      }
+      k.value = value;
+      config.knowggets.push_back(std::move(k));
+      if (cur_.kind == TokKind::kComma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    return expect(TokKind::kRbrace, "'}'");
+  }
+
+  bool parseKeyValue(std::string& key, std::string& value) {
+    if (cur_.kind != TokKind::kIdent) {
+      error_ = "expected key, got '" + cur_.text + "'";
+      return false;
+    }
+    key = cur_.text;
+    advance();
+    if (!expect(TokKind::kEquals, "'=' after key")) return false;
+    if (cur_.kind != TokKind::kIdent) {
+      error_ = "expected value for key '" + key + "'";
+      return false;
+    }
+    value = cur_.text;
+    advance();
+    return true;
+  }
+
+  Lexer lexer_;
+  Token cur_{TokKind::kEnd, "", 1};
+  std::string error_;
+};
+
+}  // namespace
+
+ConfigParseResult parseConfig(std::string_view text) {
+  return Parser(text).parse();
+}
+
+std::string formatConfig(const KalisConfig& config) {
+  std::ostringstream oss;
+  oss << "modules = {\n";
+  for (std::size_t i = 0; i < config.modules.size(); ++i) {
+    const ModuleSpec& m = config.modules[i];
+    oss << "  " << m.name;
+    if (!m.params.empty()) {
+      oss << " (";
+      bool first = true;
+      for (const auto& [k, v] : m.params) {
+        if (!first) oss << ", ";
+        first = false;
+        oss << k << "=" << v;
+      }
+      oss << ")";
+    }
+    if (i + 1 < config.modules.size()) oss << ",";
+    oss << "\n";
+  }
+  oss << "}\nknowggets = {\n";
+  for (std::size_t i = 0; i < config.knowggets.size(); ++i) {
+    const StaticKnowgget& k = config.knowggets[i];
+    oss << "  " << k.label;
+    if (!k.entity.empty()) oss << "@" << k.entity;
+    oss << " = " << k.value;
+    if (i + 1 < config.knowggets.size()) oss << ",";
+    oss << "\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,48 @@
+// Parser for Kalis configuration files (paper Fig. 6/7).
+//
+//   <config>    ::= <modules> <knowggets>
+//   <modules>   ::= "modules = {" <module-def> ("," <module-def>)* "}"
+//   <module-def>::= <name> [ "(" key=value ("," key=value)* ")" ]
+//   <knowggets> ::= "knowggets = {" key=value ("," key=value)* "}"
+//
+// Extensions kept deliberately small: '#' line comments, empty sections,
+// and knowgget keys carrying an "@entity" suffix ("SignalStrength@SensorA").
+// Both sections are optional and may appear in either order.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kalis::ids {
+
+struct ModuleSpec {
+  std::string name;
+  std::map<std::string, std::string> params;
+};
+
+struct StaticKnowgget {
+  std::string label;
+  std::string entity;  ///< empty if none
+  std::string value;
+};
+
+struct KalisConfig {
+  std::vector<ModuleSpec> modules;
+  std::vector<StaticKnowgget> knowggets;
+};
+
+struct ConfigParseResult {
+  bool ok = false;
+  KalisConfig config;
+  std::string error;  ///< human-readable, includes line number
+  int errorLine = 0;
+};
+
+ConfigParseResult parseConfig(std::string_view text);
+
+/// Renders a config back to the Fig. 6 syntax (round-trip support).
+std::string formatConfig(const KalisConfig& config);
+
+}  // namespace kalis::ids

@@ -1,0 +1,78 @@
+#include "kalis/countermeasures.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace kalis::ids {
+
+std::optional<NodeId> CountermeasureEngine::resolveEntity(
+    const std::string& entity) const {
+  if (auto mac16 = net::parseMac16(entity); mac16 && entity.size() >= 3) {
+    // Only treat 0x-prefixed strings as short addresses; bare hex would
+    // shadow other formats.
+    if (startsWith(entity, "0x")) {
+      return world_.nodeByMac16(*mac16);
+    }
+  }
+  if (auto mac48 = net::parseMac48(entity)) {
+    for (NodeId id = 0; id < world_.nodeCount(); ++id) {
+      if (world_.mac48Of(id) == *mac48) return id;
+    }
+    return std::nullopt;
+  }
+  if (auto ip = net::parseIpv4(entity)) {
+    for (NodeId id = 0; id < world_.nodeCount(); ++id) {
+      if (world_.ipv4Of(id) == *ip) return id;
+    }
+  }
+  return std::nullopt;
+}
+
+void CountermeasureEngine::onAlert(const Alert& alert) {
+  if (alert.confidence < policy_.minConfidence) return;
+  if (!policy_.actOn.empty() && !policy_.actOn.contains(alert.type)) return;
+
+  for (const std::string& suspect : alert.suspectEntities) {
+    Action action;
+    action.time = alert.time;
+    action.entity = suspect;
+    action.cause = alert.type;
+
+    if (policy_.neverRevoke.contains(suspect)) {
+      action.reason = "protected entity";
+      actions_.push_back(std::move(action));
+      continue;
+    }
+    auto last = lastAction_.find(suspect);
+    if (last != lastAction_.end() &&
+        alert.time < last->second + policy_.perEntityCooldown) {
+      action.reason = "cooldown";
+      actions_.push_back(std::move(action));
+      continue;
+    }
+    const auto node = resolveEntity(suspect);
+    if (!node) {
+      action.reason = "entity not resolvable to a node";
+      actions_.push_back(std::move(action));
+      continue;
+    }
+    action.node = *node;
+    action.executed = true;
+    action.reason = "revoked";
+    lastAction_[suspect] = alert.time;
+    world_.revoke(*node, policy_.revocationPeriod);
+    KALIS_INFO("countermeasure", "revoked " << suspect << " ("
+                                            << attackName(alert.type) << ")");
+    actions_.push_back(std::move(action));
+  }
+}
+
+std::size_t CountermeasureEngine::executedCount() const {
+  std::size_t n = 0;
+  for (const Action& action : actions_) {
+    if (action.executed) ++n;
+  }
+  return n;
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,64 @@
+// Automated response (paper §VI-A: "we program as a simple countermeasure
+// the temporary revocation from the network of any node identified as
+// suspect by the IDS").
+//
+// The engine subscribes to a Kalis node's alerts and translates suspects
+// into revocations against the simulated world, with policy guards:
+// a minimum confidence, a per-entity cooldown, and an allowlist of entities
+// that must never be revoked (e.g. the base station, configured by an
+// operator). It also keeps an auditable action log.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kalis/alert.hpp"
+#include "sim/world.hpp"
+
+namespace kalis::ids {
+
+class CountermeasureEngine {
+ public:
+  struct Policy {
+    double minConfidence = 0.6;        ///< ignore low-confidence alerts
+    Duration revocationPeriod = seconds(30);
+    Duration perEntityCooldown = seconds(60);
+    std::set<std::string> neverRevoke; ///< protected entities
+    /// Attack types that warrant revocation (empty = all).
+    std::set<AttackType> actOn;
+  };
+
+  struct Action {
+    SimTime time = 0;
+    std::string entity;
+    NodeId node = kInvalidNode;
+    AttackType cause = AttackType::kNone;
+    bool executed = false;   ///< false: suppressed by policy or unresolvable
+    std::string reason;      ///< why it was suppressed, when it was
+  };
+
+  CountermeasureEngine(sim::World& world, Policy policy)
+      : world_(world), policy_(std::move(policy)) {}
+
+  /// The alert-sink entry point: wire with
+  /// `kalisNode.setAlertSink([&](const Alert& a){ engine.onAlert(a); })`.
+  void onAlert(const Alert& alert);
+
+  const std::vector<Action>& actions() const { return actions_; }
+  std::size_t executedCount() const;
+
+  /// Resolves an entity string ("0x0005", "aa:bb:..", "10.0.0.2") to the
+  /// world node currently holding that identity. Exposed for tests.
+  std::optional<NodeId> resolveEntity(const std::string& entity) const;
+
+ private:
+  sim::World& world_;
+  Policy policy_;
+  std::vector<Action> actions_;
+  std::map<std::string, SimTime> lastAction_;
+};
+
+}  // namespace kalis::ids

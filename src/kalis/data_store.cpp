@@ -1,0 +1,44 @@
+#include "kalis/data_store.hpp"
+
+namespace kalis::ids {
+
+DataStore::DataStore() : DataStore(Config{}) {}
+
+DataStore::DataStore(Config config)
+    : config_(std::move(config)), window_(config_.windowCapacity) {}
+
+DataStore::~DataStore() {
+  if (config_.logToDisk && dirty_) flush();
+}
+
+void DataStore::onPacket(const net::CapturedPacket& pkt) {
+  window_.push(pkt);
+  ++totalPackets_;
+  if (config_.logToDisk) {
+    logWriter_.append(pkt);
+    dirty_ = true;
+  }
+}
+
+bool DataStore::flush() {
+  if (!config_.logToDisk || config_.logPath.empty()) return false;
+  const bool ok = logWriter_.writeFile(config_.logPath);
+  if (ok) dirty_ = false;
+  return ok;
+}
+
+std::optional<trace::Trace> DataStore::loadLog(const std::string& path) {
+  auto result = trace::readTraceFile(path);
+  if (!result) return std::nullopt;
+  return std::move(result->packets);
+}
+
+std::size_t DataStore::memoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& pkt : window_) {
+    bytes += pkt.raw.size() + sizeof(net::CapturedPacket);
+  }
+  return bytes;
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,55 @@
+// The Data Store (paper §IV-B2): listens for new-packet events, keeps a
+// sliding window of the most recent packets in memory, optionally logs all
+// traffic to disk in the KTRC format, and can replay logs transparently to
+// the detection modules.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "trace/trace_file.hpp"
+#include "util/sliding_window.hpp"
+
+namespace kalis::ids {
+
+class DataStore {
+ public:
+  struct Config {
+    std::size_t windowCapacity = 4096;  ///< packets kept in memory
+    bool logToDisk = false;
+    std::string logPath;                ///< required when logToDisk
+  };
+
+  DataStore();  ///< default configuration
+  explicit DataStore(Config config);
+  ~DataStore();
+
+  DataStore(const DataStore&) = delete;
+  DataStore& operator=(const DataStore&) = delete;
+
+  /// Appends a captured packet to the window (and the disk log if enabled).
+  void onPacket(const net::CapturedPacket& pkt);
+
+  const RingWindow<net::CapturedPacket>& window() const { return window_; }
+  std::uint64_t totalPackets() const { return totalPackets_; }
+
+  /// Flushes the disk log buffer. Returns false on I/O failure.
+  bool flush();
+
+  /// Loads a previously written log for offline analysis / replay.
+  static std::optional<trace::Trace> loadLog(const std::string& path);
+
+  /// Live memory footprint (window contents), for the RAM proxy.
+  std::size_t memoryBytes() const;
+
+ private:
+  Config config_;
+  RingWindow<net::CapturedPacket> window_;
+  trace::TraceWriter logWriter_;
+  std::uint64_t totalPackets_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace kalis::ids

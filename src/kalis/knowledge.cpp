@@ -1,0 +1,208 @@
+#include "kalis/knowledge.hpp"
+
+#include <algorithm>
+
+namespace kalis::ids {
+
+std::string encodeKey(std::string_view creator, std::string_view label,
+                      std::string_view entity) {
+  std::string key;
+  key.reserve(creator.size() + label.size() + entity.size() + 2);
+  key.append(creator);
+  key.push_back('$');
+  key.append(label);
+  if (!entity.empty()) {
+    key.push_back('@');
+    key.append(entity);
+  }
+  return key;
+}
+
+std::optional<KeyParts> decodeKey(std::string_view key) {
+  const std::size_t dollar = key.find('$');
+  if (dollar == std::string_view::npos) return std::nullopt;
+  KeyParts parts;
+  parts.creator = std::string(key.substr(0, dollar));
+  std::string_view rest = key.substr(dollar + 1);
+  const std::size_t at = rest.rfind('@');
+  if (at == std::string_view::npos) {
+    parts.label = std::string(rest);
+  } else {
+    parts.label = std::string(rest.substr(0, at));
+    parts.entity = std::string(rest.substr(at + 1));
+  }
+  return parts;
+}
+
+KnowledgeBase::KnowledgeBase(std::string selfId) : selfId_(std::move(selfId)) {}
+
+void KnowledgeBase::put(const std::string& label, const std::string& value,
+                        const std::string& entity, bool collective) {
+  if (!writesEnabled_) return;
+  const std::string key = encodeKey(selfId_, label, entity);
+  auto it = store_.find(key);
+  if (it != store_.end() && it->second.value == value) return;  // unchanged
+
+  Knowgget k;
+  k.label = label;
+  k.value = value;
+  k.creator = selfId_;
+  k.entity = entity;
+  k.collective = collective;
+  k.updated = nowTs();
+  store_[key] = k;
+  notify(k);
+  if (collective && collectiveSink_) collectiveSink_(k);
+}
+
+void KnowledgeBase::putBool(const std::string& label, bool v,
+                            const std::string& entity, bool collective) {
+  put(label, v ? "true" : "false", entity, collective);
+}
+
+void KnowledgeBase::putInt(const std::string& label, long long v,
+                           const std::string& entity, bool collective) {
+  put(label, std::to_string(v), entity, collective);
+}
+
+void KnowledgeBase::putDouble(const std::string& label, double v,
+                              const std::string& entity, bool collective) {
+  put(label, formatDouble(v), entity, collective);
+}
+
+bool KnowledgeBase::putRemote(const Knowgget& k) {
+  if (!writesEnabled_) return false;
+  if (k.creator == selfId_) return false;  // nobody may impersonate us
+  const std::string key = encodeKey(k.creator, k.label, k.entity);
+  auto it = store_.find(key);
+  if (it != store_.end()) {
+    if (it->second.creator != k.creator) return false;  // one-way rule
+    if (it->second.value == k.value) return true;       // no change
+  }
+  Knowgget stored = k;
+  stored.updated = nowTs();
+  store_[key] = stored;
+  notify(stored);
+  return true;
+}
+
+bool KnowledgeBase::remove(const std::string& label, const std::string& entity) {
+  return store_.erase(encodeKey(selfId_, label, entity)) > 0;
+}
+
+std::optional<std::string> KnowledgeBase::raw(const std::string& key) const {
+  auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::optional<std::string> KnowledgeBase::local(const std::string& label,
+                                                const std::string& entity) const {
+  return raw(encodeKey(selfId_, label, entity));
+}
+
+std::optional<bool> KnowledgeBase::localBool(const std::string& label,
+                                             const std::string& entity) const {
+  auto v = local(label, entity);
+  if (!v) return std::nullopt;
+  return parseBool(*v);
+}
+
+std::optional<long long> KnowledgeBase::localInt(const std::string& label,
+                                                 const std::string& entity) const {
+  auto v = local(label, entity);
+  if (!v) return std::nullopt;
+  return parseInt(*v);
+}
+
+std::optional<double> KnowledgeBase::localDouble(const std::string& label,
+                                                 const std::string& entity) const {
+  auto v = local(label, entity);
+  if (!v) return std::nullopt;
+  return parseDouble(*v);
+}
+
+std::vector<Knowgget> KnowledgeBase::byLabel(const std::string& label) const {
+  std::vector<Knowgget> out;
+  for (const auto& [key, k] : store_) {
+    if (k.label == label) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<Knowgget> KnowledgeBase::byEntity(const std::string& entity) const {
+  std::vector<Knowgget> out;
+  for (const auto& [key, k] : store_) {
+    if (k.entity == entity) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<Knowgget> KnowledgeBase::byLabelPrefix(
+    const std::string& labelPrefix) const {
+  std::vector<Knowgget> out;
+  for (const auto& [key, k] : store_) {
+    if (k.label == labelPrefix ||
+        (k.label.size() > labelPrefix.size() &&
+         startsWith(k.label, labelPrefix) &&
+         k.label[labelPrefix.size()] == '.')) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+std::vector<Knowgget> KnowledgeBase::byCreator(const std::string& creator) const {
+  std::vector<Knowgget> out;
+  const std::string prefix = creator + "$";
+  for (auto it = store_.lower_bound(prefix);
+       it != store_.end() && startsWith(it->first, prefix); ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<Knowgget> KnowledgeBase::all() const {
+  std::vector<Knowgget> out;
+  out.reserve(store_.size());
+  for (const auto& [key, k] : store_) out.push_back(k);
+  return out;
+}
+
+std::size_t KnowledgeBase::memoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, k] : store_) {
+    bytes += key.size() + k.label.size() + k.value.size() + k.creator.size() +
+             k.entity.size() + sizeof(Knowgget);
+  }
+  return bytes;
+}
+
+int KnowledgeBase::subscribe(const std::string& labelPattern, Subscription fn) {
+  const int id = nextSubId_++;
+  subs_.push_back(Sub{id, labelPattern, std::move(fn)});
+  return id;
+}
+
+void KnowledgeBase::unsubscribe(int id) {
+  subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                             [id](const Sub& s) { return s.id == id; }),
+              subs_.end());
+}
+
+void KnowledgeBase::notify(const Knowgget& k) {
+  // Iterate over a snapshot: callbacks may subscribe/unsubscribe.
+  const std::vector<Sub> snapshot = subs_;
+  for (const auto& sub : snapshot) {
+    bool match;
+    if (!sub.pattern.empty() && sub.pattern.back() == '*') {
+      match = startsWith(k.label,
+                         std::string_view(sub.pattern).substr(0, sub.pattern.size() - 1));
+    } else {
+      match = (k.label == sub.pattern);
+    }
+    if (match) sub.fn(k);
+  }
+}
+
+}  // namespace kalis::ids

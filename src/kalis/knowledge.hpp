@@ -1,0 +1,175 @@
+// The Knowledge Base and Collective Knowledge Management (paper §IV-B3, §V).
+//
+// A knowgget is the tuple <label, value, creator, entity>. The implementation
+// mirrors the paper's key-value encoding exactly (Fig. 5b):
+//
+//     key   = "creator$label@entity"  (or "creator$label" with no entity)
+//     value = string
+//
+// Multilevel knowggets flatten their hierarchy into dot-notation labels
+// ("TrafficFrequency.TCPSYN"). Lookups by creator are prefix scans, lookups
+// by entity are suffix scans, and exact keys are direct hits.
+//
+// Collective knowledge: a knowgget marked collective is pushed, on change, to
+// a sink installed by the owning Kalis node, which forwards it to discovered
+// peers. Incoming remote knowggets may only create-or-update entries whose
+// creator matches the sending node — a peer can never overwrite another
+// node's knowledge (paper's one-way update rule).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/strings.hpp"
+#include "util/types.hpp"
+
+namespace kalis::ids {
+
+struct Knowgget {
+  std::string label;
+  std::string value;
+  std::string creator;
+  std::string entity;       ///< empty when not entity-specific
+  bool collective = false;
+  SimTime updated = 0;
+};
+
+/// "creator$label@entity" (entity part omitted when empty).
+std::string encodeKey(std::string_view creator, std::string_view label,
+                      std::string_view entity);
+
+struct KeyParts {
+  std::string creator;
+  std::string label;
+  std::string entity;
+};
+
+/// Inverse of encodeKey; nullopt if the '$' separator is missing.
+std::optional<KeyParts> decodeKey(std::string_view key);
+
+class KnowledgeBase {
+ public:
+  /// `selfId` is this Kalis node's identifier (the creator stamped on local
+  /// knowggets), e.g. "K1".
+  explicit KnowledgeBase(std::string selfId);
+
+  const std::string& selfId() const { return selfId_; }
+
+  /// Advances the timestamp recorded on subsequent writes.
+  void setClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  // --- writes ---------------------------------------------------------------
+
+  /// Inserts/updates a local knowgget (creator = selfId). Subscriptions fire
+  /// only when the stored value actually changes.
+  void put(const std::string& label, const std::string& value,
+           const std::string& entity = "", bool collective = false);
+
+  void putBool(const std::string& label, bool v, const std::string& entity = "",
+               bool collective = false);
+  void putInt(const std::string& label, long long v,
+              const std::string& entity = "", bool collective = false);
+  void putDouble(const std::string& label, double v,
+                 const std::string& entity = "", bool collective = false);
+
+  /// Accepts a knowgget synchronized from a peer. Enforces the one-way rule:
+  /// the update is rejected (returns false) if `k.creator` equals the local
+  /// id, or if an existing entry under the same key has a different creator.
+  bool putRemote(const Knowgget& k);
+
+  /// Removes a local knowgget; returns true if it existed.
+  bool remove(const std::string& label, const std::string& entity = "");
+
+  // --- reads ----------------------------------------------------------------
+
+  /// Raw value by full key ("K1$Multihop").
+  std::optional<std::string> raw(const std::string& key) const;
+
+  /// Local knowgget value (creator = selfId).
+  std::optional<std::string> local(const std::string& label,
+                                   const std::string& entity = "") const;
+
+  std::optional<bool> localBool(const std::string& label,
+                                const std::string& entity = "") const;
+  std::optional<long long> localInt(const std::string& label,
+                                    const std::string& entity = "") const;
+  std::optional<double> localDouble(const std::string& label,
+                                    const std::string& entity = "") const;
+
+  /// All knowggets with this exact label, from any creator/entity.
+  std::vector<Knowgget> byLabel(const std::string& label) const;
+  /// All knowggets for an entity (suffix match on the key).
+  std::vector<Knowgget> byEntity(const std::string& entity) const;
+  /// Subtree of a multilevel knowgget: label itself plus "label.…" children,
+  /// any creator.
+  std::vector<Knowgget> byLabelPrefix(const std::string& labelPrefix) const;
+  /// Everything created by a given Kalis node (prefix scan).
+  std::vector<Knowgget> byCreator(const std::string& creator) const;
+
+  std::vector<Knowgget> all() const;
+  std::size_t size() const { return store_.size(); }
+
+  /// Approximate live footprint, for the RAM accounting proxy.
+  std::size_t memoryBytes() const;
+
+  // --- subscriptions (the publish/subscribe activation mechanism) -----------
+
+  /// `labelPattern` is an exact label, or a prefix pattern ending in "*"
+  /// ("TrafficFrequency.*"). The callback fires on any value change with a
+  /// matching label, from any creator.
+  using Subscription = std::function<void(const Knowgget&)>;
+  int subscribe(const std::string& labelPattern, Subscription fn);
+  void unsubscribe(int id);
+
+  /// Installed by the Kalis node; receives every changed local collective
+  /// knowgget for propagation to peers.
+  void setCollectiveSink(std::function<void(const Knowgget&)> sink) {
+    collectiveSink_ = std::move(sink);
+  }
+
+  /// Disables all writes (used to emulate the "traditional IDS" baseline,
+  /// which runs without a Knowledge Base).
+  void setWritesEnabled(bool enabled) { writesEnabled_ = enabled; }
+  bool writesEnabled() const { return writesEnabled_; }
+
+ private:
+  void notify(const Knowgget& k);
+  SimTime nowTs() const { return clock_ ? clock_() : 0; }
+
+  std::string selfId_;
+  std::function<SimTime()> clock_;
+  std::map<std::string, Knowgget> store_;  ///< by encoded key
+  struct Sub {
+    int id;
+    std::string pattern;
+    Subscription fn;
+  };
+  std::vector<Sub> subs_;
+  int nextSubId_ = 1;
+  std::function<void(const Knowgget&)> collectiveSink_;
+  bool writesEnabled_ = true;
+};
+
+// Canonical knowgget labels shared between sensing and detection modules.
+// Centralizing them prevents typo-induced activation bugs.
+namespace labels {
+inline constexpr const char* kMultihop = "Multihop";
+inline constexpr const char* kMultihopWpan = "Multihop.P802154";
+inline constexpr const char* kMultihopWifi = "Multihop.WiFi";
+inline constexpr const char* kMobility = "Mobility";
+inline constexpr const char* kMonitoredNodes = "MonitoredNodes";
+inline constexpr const char* kCtpRoot = "CtpRoot";
+inline constexpr const char* kSignalStrength = "SignalStrength";
+inline constexpr const char* kTrafficFrequency = "TrafficFrequency";
+inline constexpr const char* kProtocols = "Protocols";         // Protocols.TCP...
+inline constexpr const char* kLinkEncryption = "LinkEncryption";
+inline constexpr const char* kRole = "Role";
+inline constexpr const char* kWormholeDrops = "Wormhole.Drops";
+inline constexpr const char* kWormholeUnexplained = "Wormhole.Unexplained";
+}  // namespace labels
+
+}  // namespace kalis::ids

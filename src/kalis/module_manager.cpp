@@ -1,0 +1,142 @@
+#include "kalis/module_manager.hpp"
+
+#include "util/log.hpp"
+
+namespace kalis::ids {
+
+ModuleManager::ModuleManager(KnowledgeBase& kb, DataStore& dataStore)
+    : kb_(kb), dataStore_(dataStore) {}
+
+ModuleManager::~ModuleManager() {
+  for (auto& entry : entries_) {
+    for (int id : entry.subscriptionIds) kb_.unsubscribe(id);
+  }
+}
+
+ModuleContext ModuleManager::makeContext(SimTime now) {
+  return ModuleContext{
+      kb_, dataStore_, now, [this](Alert alert) {
+        KALIS_INFO("manager", toString(alert));
+        alerts_.push_back(alert);
+        if (alertSink_) alertSink_(alerts_.back());
+      }};
+}
+
+void ModuleManager::addModule(std::unique_ptr<Module> module) {
+  entries_.push_back(Entry{std::move(module), false, {}});
+  if (started_) {
+    Entry& entry = entries_.back();
+    Module* raw = entry.module.get();
+    for (const std::string& pattern : raw->watchedLabels()) {
+      entry.subscriptionIds.push_back(kb_.subscribe(
+          pattern, [this, raw](const Knowgget&) {
+            for (auto& e : entries_) {
+              if (e.module.get() == raw) evaluate(e, lastEventTime_);
+            }
+          }));
+    }
+    evaluate(entry, lastEventTime_);
+  }
+}
+
+void ModuleManager::start(SimTime now) {
+  started_ = true;
+  lastEventTime_ = now;
+  for (auto& entry : entries_) {
+    Module* raw = entry.module.get();
+    for (const std::string& pattern : raw->watchedLabels()) {
+      entry.subscriptionIds.push_back(kb_.subscribe(
+          pattern, [this, raw](const Knowgget&) {
+            for (auto& e : entries_) {
+              if (e.module.get() == raw) evaluate(e, lastEventTime_);
+            }
+          }));
+    }
+  }
+  for (auto& entry : entries_) evaluate(entry, now);
+}
+
+void ModuleManager::evaluate(Entry& entry, SimTime now) {
+  const bool wanted = allAlwaysActive_ || entry.module->required(kb_);
+  if (wanted == entry.active) return;
+  ModuleContext ctx = makeContext(now);
+  entry.active = wanted;
+  if (wanted) {
+    KALIS_DEBUG("manager", "activating " << entry.module->name());
+    entry.module->onActivate(ctx);
+  } else {
+    KALIS_DEBUG("manager", "deactivating " << entry.module->name());
+    entry.module->onDeactivate(ctx);
+  }
+}
+
+void ModuleManager::onPacket(const net::CapturedPacket& pkt, SimTime now) {
+  lastEventTime_ = now;
+  dataStore_.onPacket(pkt);
+  ++packetsProcessed_;
+  const net::Dissection dis = net::dissect(pkt);
+  ModuleContext ctx = makeContext(now);
+  // Iterate by index: modules may trigger KB changes that activate/deactivate
+  // other modules (vector growth is not possible here, state flips are).
+  for (auto& entry : entries_) {
+    if (!entry.active) continue;
+    ++moduleActivations_;
+    totalWorkUnits_ += entry.module->workUnitsPerPacket();
+    entry.module->onPacket(pkt, dis, ctx);
+  }
+}
+
+void ModuleManager::tick(SimTime now) {
+  lastEventTime_ = now;
+  ModuleContext ctx = makeContext(now);
+  for (auto& entry : entries_) {
+    if (entry.active) entry.module->onTick(ctx);
+  }
+}
+
+std::vector<std::string> ModuleManager::activeModuleNames() const {
+  std::vector<std::string> names;
+  for (const auto& entry : entries_) {
+    if (entry.active) names.push_back(entry.module->name());
+  }
+  return names;
+}
+
+std::vector<std::string> ModuleManager::allModuleNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& entry : entries_) names.push_back(entry.module->name());
+  return names;
+}
+
+bool ModuleManager::isActive(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.module->name() == name) return entry.active;
+  }
+  return false;
+}
+
+Module* ModuleManager::find(const std::string& name) {
+  for (auto& entry : entries_) {
+    if (entry.module->name() == name) return entry.module.get();
+  }
+  return nullptr;
+}
+
+std::size_t ModuleManager::activeCount() const {
+  std::size_t n = 0;
+  for (const auto& entry : entries_) {
+    if (entry.active) ++n;
+  }
+  return n;
+}
+
+std::size_t ModuleManager::moduleMemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& entry : entries_) {
+    if (entry.active) bytes += entry.module->memoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace kalis::ids

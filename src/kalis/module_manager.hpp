@@ -1,0 +1,98 @@
+// The Module Manager (paper §IV-B4): coordinates all modules, activating and
+// deactivating them as the Knowledge Base changes, routing packet events to
+// active modules, and collecting alerts.
+//
+// Dynamic configuration works through the KB's publish/subscribe mechanism:
+// for every module, the manager subscribes to the module's watchedLabels();
+// when a matching knowgget changes, it re-evaluates required() and flips the
+// module's activation state if the answer changed.
+//
+// The "traditional IDS" baseline (§VI-B) is this same manager with
+// setAllAlwaysActive(true): every module runs at all times and the KB is
+// frozen, exactly the paper's emulation ("running our system without
+// Knowledge Base, and with all the modules active at all times").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kalis/module.hpp"
+
+namespace kalis::ids {
+
+class ModuleManager {
+ public:
+  ModuleManager(KnowledgeBase& kb, DataStore& dataStore);
+  ~ModuleManager();
+
+  ModuleManager(const ModuleManager&) = delete;
+  ModuleManager& operator=(const ModuleManager&) = delete;
+
+  /// Adds a module to the library. Before start(), activation is deferred;
+  /// afterwards the module is evaluated immediately.
+  void addModule(std::unique_ptr<Module> module);
+
+  /// Baseline emulation: all modules permanently active, required() ignored.
+  void setAllAlwaysActive(bool on) { allAlwaysActive_ = on; }
+
+  /// Evaluates initial activations and installs KB subscriptions.
+  void start(SimTime now);
+  bool started() const { return started_; }
+
+  /// Routes a captured packet to every active module (dissecting once) and
+  /// charges the CPU-proxy work units.
+  void onPacket(const net::CapturedPacket& pkt, SimTime now);
+
+  /// Periodic tick forwarded to active modules.
+  void tick(SimTime now);
+
+  // --- alerts ---------------------------------------------------------------
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  void clearAlerts() { alerts_.clear(); }
+  /// Optional extra consumer (countermeasure engine, SIEM export, tests).
+  void setAlertSink(std::function<void(const Alert&)> sink) {
+    alertSink_ = std::move(sink);
+  }
+
+  // --- introspection ----------------------------------------------------------
+  std::vector<std::string> activeModuleNames() const;
+  std::vector<std::string> allModuleNames() const;
+  bool isActive(const std::string& name) const;
+  Module* find(const std::string& name);
+  std::size_t moduleCount() const { return entries_.size(); }
+  std::size_t activeCount() const;
+
+  // --- resource accounting (CPU / RAM proxies) --------------------------------
+  std::uint64_t totalWorkUnits() const { return totalWorkUnits_; }
+  std::uint64_t packetsProcessed() const { return packetsProcessed_; }
+  /// Bytes of live module state across active modules.
+  std::size_t moduleMemoryBytes() const;
+  /// Cumulative integral of (active modules) over packets — a load measure.
+  std::uint64_t moduleActivationsSeen() const { return moduleActivations_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Module> module;
+    bool active = false;
+    std::vector<int> subscriptionIds;
+  };
+
+  void evaluate(Entry& entry, SimTime now);
+  ModuleContext makeContext(SimTime now);
+
+  KnowledgeBase& kb_;
+  DataStore& dataStore_;
+  std::vector<Entry> entries_;
+  std::vector<Alert> alerts_;
+  std::function<void(const Alert&)> alertSink_;
+  bool allAlwaysActive_ = false;
+  bool started_ = false;
+  bool evaluating_ = false;  ///< guards re-entrant KB-triggered evaluation
+  std::uint64_t totalWorkUnits_ = 0;
+  std::uint64_t packetsProcessed_ = 0;
+  std::uint64_t moduleActivations_ = 0;
+  SimTime lastEventTime_ = 0;
+};
+
+}  // namespace kalis::ids

@@ -1,0 +1,93 @@
+#include "kalis/module_registry.hpp"
+
+#include "kalis/modules/anomaly.hpp"
+#include "kalis/modules/data_alteration.hpp"
+#include "kalis/modules/deauth_flood.hpp"
+#include "kalis/modules/device_classifier.hpp"
+#include "kalis/modules/encryption_detection.hpp"
+#include "kalis/modules/hello_flood.hpp"
+#include "kalis/modules/icmp_flood.hpp"
+#include "kalis/modules/mobility_awareness.hpp"
+#include "kalis/modules/replication.hpp"
+#include "kalis/modules/selective_forwarding.hpp"
+#include "kalis/modules/sinkhole.hpp"
+#include "kalis/modules/smurf.hpp"
+#include "kalis/modules/sybil.hpp"
+#include "kalis/modules/syn_flood.hpp"
+#include "kalis/modules/topology_discovery.hpp"
+#include "kalis/modules/traffic_stats.hpp"
+#include "kalis/modules/wormhole.hpp"
+
+namespace kalis::ids {
+
+ModuleRegistry& ModuleRegistry::global() {
+  static ModuleRegistry registry;
+  static const bool initialized = [] {
+    registerStandardModules(registry);
+    return true;
+  }();
+  (void)initialized;
+  return registry;
+}
+
+bool ModuleRegistry::add(const std::string& name, Factory factory) {
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<Module> ModuleRegistry::create(const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second();
+}
+
+bool ModuleRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::vector<std::string> ModuleRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+void registerStandardModules(ModuleRegistry& registry) {
+  auto reg = [&registry](const std::string& name, auto maker) {
+    registry.add(name, maker);
+  };
+  // Sensing modules.
+  reg("TopologyDiscoveryModule",
+      [] { return std::make_unique<TopologyDiscoveryModule>(); });
+  reg("TrafficStatsModule", [] { return std::make_unique<TrafficStatsModule>(); });
+  reg("MobilityAwarenessModule",
+      [] { return std::make_unique<MobilityAwarenessModule>(); });
+  reg("EncryptionDetectionModule",
+      [] { return std::make_unique<EncryptionDetectionModule>(); });
+  reg("DeviceClassifierModule",
+      [] { return std::make_unique<DeviceClassifierModule>(); });
+  // Detection modules.
+  reg("IcmpFloodModule", [] { return std::make_unique<IcmpFloodModule>(); });
+  reg("SmurfModule", [] { return std::make_unique<SmurfModule>(); });
+  reg("SynFloodModule", [] { return std::make_unique<SynFloodModule>(); });
+  reg("SelectiveForwardingModule",
+      [] { return std::make_unique<SelectiveForwardingModule>(); });
+  reg("BlackholeModule", [] { return std::make_unique<BlackholeModule>(); });
+  reg("WormholeModule", [] { return std::make_unique<WormholeModule>(); });
+  reg("ReplicationStaticModule",
+      [] { return std::make_unique<ReplicationStaticModule>(); });
+  reg("ReplicationMobileModule",
+      [] { return std::make_unique<ReplicationMobileModule>(); });
+  reg("SybilSinglehopModule",
+      [] { return std::make_unique<SybilSinglehopModule>(); });
+  reg("SybilMultihopModule",
+      [] { return std::make_unique<SybilMultihopModule>(); });
+  reg("SinkholeModule", [] { return std::make_unique<SinkholeModule>(); });
+  reg("HelloFloodModule", [] { return std::make_unique<HelloFloodModule>(); });
+  reg("DeauthFloodModule", [] { return std::make_unique<DeauthFloodModule>(); });
+  reg("DataAlterationModule",
+      [] { return std::make_unique<DataAlterationModule>(); });
+  reg("AnomalyDetectionModule",
+      [] { return std::make_unique<AnomalyDetectionModule>(); });
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,52 @@
+// Module factory registry: instantiation-by-name, the C++ equivalent of the
+// prototype's Java Reflection loading ("the corresponding class is
+// dynamically instantiated by name", paper §V). A module registers a factory
+// under its class name; configuration files can then activate modules
+// without the core knowing about them at compile time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kalis/module.hpp"
+
+namespace kalis::ids {
+
+class ModuleRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Module>()>;
+
+  /// The process-wide registry holding every built-in module.
+  static ModuleRegistry& global();
+
+  /// Registers a factory; returns false (and keeps the old entry) on a
+  /// duplicate name.
+  bool add(const std::string& name, Factory factory);
+
+  /// Instantiates by class name; nullptr when unknown.
+  std::unique_ptr<Module> create(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::size_t size() const { return factories_.size(); }
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registers every module shipped with this library into `registry`
+/// (idempotent). Called once at startup by KalisNode::useStandardLibrary.
+void registerStandardModules(ModuleRegistry& registry);
+
+/// Helper for static registration of out-of-tree modules:
+///   KALIS_REGISTER_MODULE(MyModule);
+#define KALIS_REGISTER_MODULE(Type)                                     \
+  namespace {                                                           \
+  const bool kalis_registered_##Type = ::kalis::ids::ModuleRegistry::   \
+      global().add(#Type, [] { return std::make_unique<Type>(); });     \
+  }
+
+}  // namespace kalis::ids

@@ -1,0 +1,60 @@
+#include "kalis/modules/anomaly.hpp"
+
+#include <cmath>
+
+namespace kalis::ids {
+
+void AnomalyDetectionModule::configure(
+    const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("learnTicks"); it != params.end()) {
+    if (auto v = parseInt(it->second); v && *v > 0) {
+      learnTicks_ = static_cast<std::size_t>(*v);
+    }
+  }
+  if (auto it = params.find("sigmas"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) sigmas_ = *v;
+  }
+  if (auto it = params.find("minAbsolute"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) minAbsolute_ = *v;
+  }
+}
+
+void AnomalyDetectionModule::onTick(ModuleContext& ctx) {
+  // Global (entity-less) traffic rates, straight from the Knowledge Base.
+  for (const Knowgget& k :
+       ctx.kb.byLabelPrefix(labels::kTrafficFrequency)) {
+    if (!k.entity.empty() || k.creator != ctx.kb.selfId()) continue;
+    const auto rate = parseDouble(k.value);
+    if (!rate) continue;
+
+    Baseline& baseline = baselines_[k.label];
+    if (baseline.stats.count() < learnTicks_) {
+      baseline.stats.add(*rate);
+      continue;
+    }
+    const double mean = baseline.stats.mean();
+    const double spread = std::max(baseline.stats.stddev(), 0.25);
+    const bool anomalous =
+        *rate >= minAbsolute_ && *rate > mean + sigmas_ * spread;
+    if (anomalous) {
+      if (shouldAlert(k.label, ctx.now, cooldown_)) {
+        Alert alert;
+        alert.type = AttackType::kUnknownAnomaly;
+        alert.time = ctx.now;
+        alert.moduleName = name();
+        alert.confidence = 0.5;  // anomaly evidence is inherently weaker
+        alert.detail = k.label + " rate " + formatDouble(*rate) +
+                       "/s vs baseline " + formatDouble(mean) + "±" +
+                       formatDouble(spread);
+        ctx.raiseAlert(std::move(alert));
+      }
+      baseline.alertedLastTick = true;
+      // Anomalous samples do not pollute the learned envelope.
+      continue;
+    }
+    baseline.alertedLastTick = false;
+    baseline.stats.add(*rate);
+  }
+}
+
+}  // namespace kalis::ids

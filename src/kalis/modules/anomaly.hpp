@@ -1,0 +1,57 @@
+// Anomaly-based detection module (paper §II-B / §V: the Traffic Statistics
+// module "supports ... the use of anomaly-based detection modules that can
+// detect unknown attacks, even when their signature is not predetermined").
+//
+// Consumes the TrafficFrequency.* knowggets published by the Traffic
+// Statistics module, learns a per-type baseline (Welford mean/stddev over
+// tick samples), and raises UnknownAnomaly alerts when a type's rate leaves
+// the learned envelope. Because anomaly techniques trade false positives for
+// breadth (§II-B), the module is opt-in: it activates only when the
+// operator sets the `AnomalyDetection` knowgget (usually via the
+// configuration file: `knowggets = { AnomalyDetection = true }`).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "kalis/module.hpp"
+#include "util/stats.hpp"
+
+namespace kalis::ids {
+
+class AnomalyDetectionModule final : public DetectionModule {
+ public:
+  std::string name() const override { return "AnomalyDetectionModule"; }
+  AttackType attack() const override { return AttackType::kUnknownAnomaly; }
+
+  bool required(const KnowledgeBase& kb) const override {
+    return kb.localBool("AnomalyDetection").value_or(false);
+  }
+  std::vector<std::string> watchedLabels() const override {
+    return {"AnomalyDetection"};
+  }
+
+  void configure(const std::map<std::string, std::string>& params) override;
+  void onTick(ModuleContext& ctx) override;
+
+  std::uint32_t workUnitsPerPacket() const override { return 1; }
+  std::size_t memoryBytes() const override {
+    std::size_t bytes = sizeof(*this) + alertStateBytes();
+    for (const auto& [k, v] : baselines_) bytes += k.size() + sizeof(v) + 32;
+    return bytes;
+  }
+
+ private:
+  struct Baseline {
+    RunningStats stats;
+    bool alertedLastTick = false;
+  };
+
+  std::size_t learnTicks_ = 15;   ///< samples before the envelope is trusted
+  double sigmas_ = 4.0;           ///< deviation threshold
+  double minAbsolute_ = 3.0;      ///< rate floor (pkts/s) below which no alert
+  Duration cooldown_ = seconds(15);
+  std::map<std::string, Baseline> baselines_;  ///< by traffic-type label
+};
+
+}  // namespace kalis::ids

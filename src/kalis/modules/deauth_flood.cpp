@@ -1,0 +1,39 @@
+#include "kalis/modules/deauth_flood.hpp"
+
+namespace kalis::ids {
+
+void DeauthFloodModule::configure(
+    const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("rateThresh"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) rateThresh_ = *v;
+  }
+}
+
+void DeauthFloodModule::onPacket(const net::CapturedPacket& pkt,
+                                 const net::Dissection& dis,
+                                 ModuleContext& ctx) {
+  (void)ctx;
+  if (dis.type != net::PacketType::kWifiDeauth) return;
+  const std::string victim = dis.linkDest();
+  auto [it, inserted] = deauths_.try_emplace(victim, window_);
+  it->second.record(pkt.meta.timestamp);
+  lastLinkSender_[victim] = dis.linkSource();
+}
+
+void DeauthFloodModule::onTick(ModuleContext& ctx) {
+  for (auto& [victim, counter] : deauths_) {
+    const double rate = counter.rate(ctx.now);
+    if (rate < rateThresh_) continue;
+    if (!shouldAlert(victim, ctx.now, cooldown_)) continue;
+    Alert alert;
+    alert.type = AttackType::kDeauthFlood;
+    alert.time = ctx.now;
+    alert.moduleName = name();
+    alert.victimEntity = victim;
+    alert.suspectEntities.push_back(lastLinkSender_[victim]);
+    alert.detail = "deauth rate " + formatDouble(rate) + "/s";
+    ctx.raiseAlert(std::move(alert));
+  }
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,45 @@
+// WiFi deauthentication-flood detection: forged 802.11 deauth frames kicking
+// stations off the access point (a Denial-of-Thing against WiFi devices,
+// Table I's hub->sub / Internet->hub patterns).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "kalis/module.hpp"
+#include "util/sliding_window.hpp"
+
+namespace kalis::ids {
+
+class DeauthFloodModule final : public DetectionModule {
+ public:
+  std::string name() const override { return "DeauthFloodModule"; }
+  AttackType attack() const override { return AttackType::kDeauthFlood; }
+
+  bool required(const KnowledgeBase& kb) const override {
+    return kb.localBool("Protocols.WiFi").value_or(false);
+  }
+  std::vector<std::string> watchedLabels() const override {
+    return {"Protocols.WiFi"};
+  }
+
+  void configure(const std::map<std::string, std::string>& params) override;
+  void onPacket(const net::CapturedPacket& pkt, const net::Dissection& dis,
+                ModuleContext& ctx) override;
+  void onTick(ModuleContext& ctx) override;
+
+  std::size_t memoryBytes() const override {
+    std::size_t bytes = sizeof(*this) + alertStateBytes();
+    for (const auto& [k, c] : deauths_) bytes += k.size() + c.memoryBytes() + 32;
+    return bytes;
+  }
+
+ private:
+  double rateThresh_ = 2.0;  ///< deauths/s per victim (legit: ~never)
+  Duration window_ = seconds(5);
+  Duration cooldown_ = seconds(15);
+  std::map<std::string, SlidingCounter> deauths_;       ///< by victim
+  std::map<std::string, std::string> lastLinkSender_;   ///< victim -> sender
+};
+
+}  // namespace kalis::ids

@@ -1,0 +1,115 @@
+// Shared per-victim event bookkeeping for flood-style detection modules
+// (ICMP flood, Smurf, SYN flood, hello flood, deauth flood).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace kalis::ids {
+
+/// Events aimed at one victim within a trailing window.
+class VictimEventLog {
+ public:
+  struct Event {
+    SimTime time = 0;
+    std::string claimedSrc;  ///< network-layer source as claimed in the packet
+    std::string linkSrc;     ///< who physically transmitted it
+    double rssiDbm = 0.0;
+    net::Medium medium = net::Medium::kWifi;
+  };
+
+  explicit VictimEventLog(Duration window) : window_(window) {}
+
+  void record(Event ev) {
+    events_.push_back(std::move(ev));
+    evict(events_.back().time);
+  }
+
+  void evict(SimTime now) {
+    const SimTime cutoff = now > window_ ? now - window_ : 0;
+    while (!events_.empty() && events_.front().time <= cutoff) {
+      events_.pop_front();
+    }
+  }
+
+  std::size_t count(SimTime now) {
+    evict(now);
+    return events_.size();
+  }
+
+  double rate(SimTime now) {
+    evict(now);
+    return static_cast<double>(events_.size()) / toSeconds(window_);
+  }
+
+  std::size_t distinctClaimedSources(SimTime now) {
+    evict(now);
+    std::set<std::string> srcs;
+    for (const Event& ev : events_) srcs.insert(ev.claimedSrc);
+    return srcs.size();
+  }
+
+  /// Most frequent physical (link-layer) transmitter in the window.
+  std::string dominantLinkSource(SimTime now) {
+    evict(now);
+    std::map<std::string, std::size_t> counts;
+    for (const Event& ev : events_) ++counts[ev.linkSrc];
+    std::string best;
+    std::size_t bestCount = 0;
+    for (const auto& [src, n] : counts) {
+      if (n > bestCount) {
+        best = src;
+        bestCount = n;
+      }
+    }
+    return best;
+  }
+
+  /// RSSI spread (max - min) of the windowed events — near zero when a
+  /// single physical attacker forges many identities.
+  double rssiSpread(SimTime now) {
+    evict(now);
+    if (events_.empty()) return 0.0;
+    double lo = events_.front().rssiDbm;
+    double hi = lo;
+    for (const Event& ev : events_) {
+      lo = ev.rssiDbm < lo ? ev.rssiDbm : lo;
+      hi = ev.rssiDbm > hi ? ev.rssiDbm : hi;
+    }
+    return hi - lo;
+  }
+
+  net::Medium dominantMedium(SimTime now) {
+    evict(now);
+    std::size_t perMedium[3] = {0, 0, 0};
+    for (const Event& ev : events_) {
+      ++perMedium[static_cast<std::size_t>(ev.medium)];
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < 3; ++i) {
+      if (perMedium[i] > perMedium[best]) best = i;
+    }
+    return static_cast<net::Medium>(best);
+  }
+
+  const std::deque<Event>& events() const { return events_; }
+
+  std::size_t memoryBytes() const {
+    std::size_t bytes = 0;
+    for (const Event& ev : events_) {
+      bytes += sizeof(Event) + ev.claimedSrc.size() + ev.linkSrc.size();
+    }
+    return bytes;
+  }
+
+ private:
+  Duration window_;
+  std::deque<Event> events_;
+};
+
+}  // namespace kalis::ids

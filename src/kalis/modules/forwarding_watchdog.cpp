@@ -1,0 +1,184 @@
+#include "kalis/modules/forwarding_watchdog.hpp"
+
+#include "util/checksum.hpp"
+
+namespace kalis::ids {
+
+namespace {
+
+std::string ctpKey(std::uint16_t origin, std::uint8_t seqno) {
+  return "C" + std::to_string(origin) + ":" + std::to_string(seqno);
+}
+
+std::string zigbeeKey(std::uint16_t src, std::uint8_t seq) {
+  return "Z" + std::to_string(src) + ":" + std::to_string(seq);
+}
+
+}  // namespace
+
+std::uint64_t ForwardingWatchdog::fingerprint(std::uint16_t src,
+                                              std::uint8_t seq,
+                                              BytesView payload) {
+  Bytes material;
+  ByteWriter w(material);
+  w.u16be(src);
+  w.u8(seq);
+  w.raw(payload);
+  return fnv1a64(BytesView(material));
+}
+
+void ForwardingWatchdog::observe(const net::CapturedPacket& pkt,
+                                 const net::Dissection& dis,
+                                 const std::string& ctpRoot) {
+  const SimTime now = pkt.meta.timestamp;
+  if (dis.ctpData && dis.wpan) {
+    const net::CtpData& data = *dis.ctpData;
+    const std::string key = ctpKey(data.origin.value, data.seqno);
+    const std::string sender = dis.linkSource();
+    const std::string receiver = dis.linkDest();
+
+    // First: does this transmission resolve a pending expectation?
+    resolve(key, sender, fnv1a64(BytesView(data.payload)), now);
+
+    // Then: does it create a new expectation? The receiver must forward,
+    // unless it is the collection root or a broadcast.
+    if (!dis.wpan->dst.isBroadcast() && receiver != ctpRoot) {
+      if (pending_.size() < config_.maxPending) {
+        Pending p;
+        p.seen = now;
+        p.forwarder = receiver;
+        p.payloadHash = fnv1a64(BytesView(data.payload));
+        p.fp = fingerprint(data.origin.value, data.seqno, BytesView(data.payload));
+        p.originEntity = net::toString(data.origin);
+        pending_[key] = std::move(p);
+      }
+    }
+    return;
+  }
+
+  if (dis.zigbee && dis.wpan) {
+    const net::ZigbeeNwkFrame& nwk = *dis.zigbee;
+    const std::string key = zigbeeKey(nwk.src.value, nwk.seq);
+    const std::string sender = dis.linkSource();
+    const std::string receiver = dis.linkDest();
+    const std::string nwkDst = net::toString(nwk.dst);
+
+    resolve(key, sender, fnv1a64(BytesView(nwk.payload)), now);
+
+    // Forwarding expected when the link receiver is not the NWK destination.
+    if (!dis.wpan->dst.isBroadcast() && !nwk.dst.isBroadcast() &&
+        receiver != nwkDst) {
+      if (pending_.size() < config_.maxPending) {
+        Pending p;
+        p.seen = now;
+        p.forwarder = receiver;
+        p.payloadHash = fnv1a64(BytesView(nwk.payload));
+        p.fp = fingerprint(nwk.src.value, nwk.seq, BytesView(nwk.payload));
+        p.originEntity = net::toString(nwk.src);
+        pending_[key] = std::move(p);
+      }
+    }
+  }
+}
+
+void ForwardingWatchdog::resolve(const std::string& key,
+                                 const std::string& bySender,
+                                 std::uint64_t newPayloadHash, SimTime now) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  if (it->second.forwarder != bySender) return;  // someone else's copy
+  if (newPayloadHash != it->second.payloadHash) {
+    alterations_.push_back(AlterationEvent{bySender, now,
+                                           it->second.originEntity,
+                                           it->second.payloadHash,
+                                           newPayloadHash});
+  }
+  addVerdict(bySender, Verdict{now, false, it->second.fp});
+  pending_.erase(it);
+}
+
+void ForwardingWatchdog::expire(SimTime now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now >= it->second.seen + config_.timeout) {
+      addVerdict(it->second.forwarder, Verdict{now, true, it->second.fp});
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ForwardingWatchdog::addVerdict(const std::string& entity, Verdict v) {
+  auto& deque = verdicts_[entity];
+  deque.push_back(v);
+  evict(deque, v.time);
+}
+
+void ForwardingWatchdog::evict(std::deque<Verdict>& verdicts,
+                               SimTime now) const {
+  const SimTime cutoff = now > config_.window ? now - config_.window : 0;
+  while (!verdicts.empty() && verdicts.front().time <= cutoff) {
+    verdicts.pop_front();
+  }
+}
+
+std::size_t ForwardingWatchdog::samples(const std::string& entity,
+                                        SimTime now) {
+  auto it = verdicts_.find(entity);
+  if (it == verdicts_.end()) return 0;
+  evict(it->second, now);
+  return it->second.size();
+}
+
+double ForwardingWatchdog::dropRatio(const std::string& entity, SimTime now) {
+  auto it = verdicts_.find(entity);
+  if (it == verdicts_.end()) return 0.0;
+  evict(it->second, now);
+  if (it->second.empty()) return 0.0;
+  std::size_t dropped = 0;
+  for (const Verdict& v : it->second) {
+    if (v.dropped) ++dropped;
+  }
+  return static_cast<double>(dropped) / static_cast<double>(it->second.size());
+}
+
+std::vector<std::uint64_t> ForwardingWatchdog::droppedFingerprints(
+    const std::string& entity, SimTime now) {
+  std::vector<std::uint64_t> fps;
+  auto it = verdicts_.find(entity);
+  if (it == verdicts_.end()) return fps;
+  evict(it->second, now);
+  for (const Verdict& v : it->second) {
+    if (v.dropped) fps.push_back(v.fp);
+  }
+  return fps;
+}
+
+std::vector<std::string> ForwardingWatchdog::observedForwarders(SimTime now) {
+  std::vector<std::string> out;
+  for (auto& [entity, deque] : verdicts_) {
+    evict(deque, now);
+    if (!deque.empty()) out.push_back(entity);
+  }
+  return out;
+}
+
+std::vector<ForwardingWatchdog::AlterationEvent>
+ForwardingWatchdog::drainAlterations() {
+  std::vector<AlterationEvent> out;
+  out.swap(alterations_);
+  return out;
+}
+
+std::size_t ForwardingWatchdog::memoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [key, p] : pending_) {
+    bytes += key.size() + sizeof(Pending) + p.forwarder.size();
+  }
+  for (const auto& [entity, deque] : verdicts_) {
+    bytes += entity.size() + deque.size() * sizeof(Verdict) + 32;
+  }
+  return bytes;
+}
+
+}  // namespace kalis::ids

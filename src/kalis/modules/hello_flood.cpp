@@ -1,0 +1,39 @@
+#include "kalis/modules/hello_flood.hpp"
+
+namespace kalis::ids {
+
+void HelloFloodModule::configure(
+    const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("rateThresh"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) rateThresh_ = *v;
+  }
+}
+
+void HelloFloodModule::onPacket(const net::CapturedPacket& pkt,
+                                const net::Dissection& dis,
+                                ModuleContext& ctx) {
+  (void)ctx;
+  const bool isRoutingBeacon = dis.type == net::PacketType::kCtpRouting ||
+                               dis.type == net::PacketType::kRplDio ||
+                               dis.type == net::PacketType::kZigbeeRouting;
+  if (!isRoutingBeacon) return;
+  auto [it, inserted] = beacons_.try_emplace(dis.linkSource(), window_);
+  it->second.record(pkt.meta.timestamp);
+}
+
+void HelloFloodModule::onTick(ModuleContext& ctx) {
+  for (auto& [entity, counter] : beacons_) {
+    const double rate = counter.rate(ctx.now);
+    if (rate < rateThresh_) continue;
+    if (!shouldAlert(entity, ctx.now, cooldown_)) continue;
+    Alert alert;
+    alert.type = AttackType::kHelloFlood;
+    alert.time = ctx.now;
+    alert.moduleName = name();
+    alert.suspectEntities.push_back(entity);
+    alert.detail = "routing-beacon rate " + formatDouble(rate) + "/s";
+    ctx.raiseAlert(std::move(alert));
+  }
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,47 @@
+// Hello-flood detection: an attacker blanketing the network with routing
+// beacons (CTP routing frames, RPL DIOs/DIS, ZigBee link status) to poison
+// neighbor tables or drain batteries. Symptom: beacon rate from one entity
+// far above the protocol's natural cadence.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "kalis/module.hpp"
+#include "util/sliding_window.hpp"
+
+namespace kalis::ids {
+
+class HelloFloodModule final : public DetectionModule {
+ public:
+  std::string name() const override { return "HelloFloodModule"; }
+  AttackType attack() const override { return AttackType::kHelloFlood; }
+
+  bool required(const KnowledgeBase& kb) const override {
+    return kb.localBool("Protocols.CTP").value_or(false) ||
+           kb.localBool("Protocols.RPL").value_or(false) ||
+           kb.localBool("Protocols.ZigBee").value_or(false);
+  }
+  std::vector<std::string> watchedLabels() const override {
+    return {"Protocols.CTP", "Protocols.RPL", "Protocols.ZigBee"};
+  }
+
+  void configure(const std::map<std::string, std::string>& params) override;
+  void onPacket(const net::CapturedPacket& pkt, const net::Dissection& dis,
+                ModuleContext& ctx) override;
+  void onTick(ModuleContext& ctx) override;
+
+  std::size_t memoryBytes() const override {
+    std::size_t bytes = sizeof(*this) + alertStateBytes();
+    for (const auto& [k, c] : beacons_) bytes += k.size() + c.memoryBytes() + 32;
+    return bytes;
+  }
+
+ private:
+  double rateThresh_ = 5.0;  ///< beacons/s per entity (natural cadence ~0.5)
+  Duration window_ = seconds(5);
+  Duration cooldown_ = seconds(15);
+  std::map<std::string, SlidingCounter> beacons_;  ///< by entity
+};
+
+}  // namespace kalis::ids

@@ -1,0 +1,114 @@
+#include "kalis/modules/icmp_flood.hpp"
+
+namespace kalis::ids {
+
+bool IcmpFloodModule::required(const KnowledgeBase& kb) const {
+  return kb.localBool("Protocols.ICMP").value_or(false);
+}
+
+void IcmpFloodModule::configure(
+    const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("detectionThresh"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) detectionThresh_ = *v;
+  }
+  if (auto it = params.find("minSources"); it != params.end()) {
+    if (auto v = parseInt(it->second); v && *v > 0) {
+      minSources_ = static_cast<std::size_t>(*v);
+    }
+  }
+  if (auto it = params.find("windowSeconds"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) {
+      window_ = static_cast<Duration>(*v * 1e6);
+      replyLog_.clear();
+    }
+  }
+}
+
+void IcmpFloodModule::onPacket(const net::CapturedPacket& pkt,
+                               const net::Dissection& dis, ModuleContext& ctx) {
+  (void)ctx;
+  const bool isReply = dis.type == net::PacketType::kIcmpEchoRep ||
+                       dis.type == net::PacketType::kIcmpv6EchoRep;
+  const bool isRequest = dis.type == net::PacketType::kIcmpEchoReq ||
+                         dis.type == net::PacketType::kIcmpv6EchoReq;
+  if (!isReply && !isRequest) return;
+
+  const auto netSrc = dis.networkSource();
+  const auto netDst = dis.networkDest();
+  if (!netSrc || !netDst) return;
+  const std::string linkSrc = dis.linkSource();
+
+  // Learn the usual physical identity behind each network source; a later
+  // mismatch is spoofing evidence.
+  auto [it, inserted] = identityBinding_.try_emplace(*netSrc, linkSrc);
+  const bool spoofed = !inserted && it->second != linkSrc;
+
+  if (isRequest && spoofed) {
+    // A request claiming to come from an already-known host but transmitted
+    // by a different radio: the Smurf trigger (victim = claimed source).
+    spoofedRequests_[*netSrc] = pkt.meta.timestamp;
+    return;
+  }
+
+  if (isReply) {
+    auto [log, created] = replyLog_.try_emplace(*netDst, window_);
+    log->second.record(VictimEventLog::Event{pkt.meta.timestamp, *netSrc,
+                                             linkSrc, pkt.meta.rssiDbm,
+                                             pkt.medium});
+  }
+}
+
+void IcmpFloodModule::onTick(ModuleContext& ctx) {
+  const bool trustKnowledge = ctx.kb.writesEnabled();
+  for (auto& [victim, log] : replyLog_) {
+    if (log.rate(ctx.now) < detectionThresh_) continue;
+    if (log.distinctClaimedSources(ctx.now) < minSources_) continue;
+
+    // Symptom present. Consult the Knowledge Base for the topology of the
+    // medium the flood rides on.
+    const net::Medium medium = log.dominantMedium(ctx.now);
+    const char* label = medium == net::Medium::kIeee802154
+                            ? labels::kMultihopWpan
+                            : labels::kMultihopWifi;
+    const auto multihop = ctx.kb.localBool(label);
+
+    if (trustKnowledge) {
+      if (!multihop.has_value()) continue;  // still learning: don't guess
+      if (*multihop) {
+        // Multi-hop: Smurf is possible. If we saw the Smurf trigger
+        // (spoofed requests in the victim's name), leave it to SmurfModule.
+        auto spoofIt = spoofedRequests_.find(victim);
+        if (spoofIt != spoofedRequests_.end() &&
+            ctx.now <= spoofIt->second + window_) {
+          continue;
+        }
+      }
+    }
+
+    if (!shouldAlert(victim, ctx.now, cooldown_)) continue;
+    Alert alert;
+    alert.type = AttackType::kIcmpFlood;
+    alert.time = ctx.now;
+    alert.moduleName = name();
+    alert.victimEntity = victim;
+    alert.confidence = log.rssiSpread(ctx.now) < 3.0 ? 1.0 : 0.7;
+    // One-hop suspect: the radio actually transmitting the replies.
+    alert.suspectEntities.push_back(log.dominantLinkSource(ctx.now));
+    alert.detail = "echo-reply rate " + formatDouble(log.rate(ctx.now)) +
+                   "/s from " +
+                   std::to_string(log.distinctClaimedSources(ctx.now)) +
+                   " claimed sources";
+    ctx.raiseAlert(std::move(alert));
+  }
+}
+
+std::size_t IcmpFloodModule::memoryBytes() const {
+  std::size_t bytes = sizeof(*this) + alertStateBytes();
+  for (const auto& [victim, log] : replyLog_) {
+    bytes += victim.size() + log.memoryBytes();
+  }
+  for (const auto& [k, v] : identityBinding_) bytes += k.size() + v.size();
+  return bytes;
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,93 @@
+#include "kalis/modules/mobility_awareness.hpp"
+
+#include <cmath>
+
+namespace kalis::ids {
+
+void MobilityAwarenessModule::configure(
+    const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("thresholdDb"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) thresholdDb_ = *v;
+  }
+  if (auto it = params.find("minSamples"); it != params.end()) {
+    if (auto v = parseInt(it->second); v && *v > 0) {
+      minSamples_ = static_cast<std::size_t>(*v);
+    }
+  }
+  if (auto it = params.find("holdSeconds"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) {
+      holdTime_ = static_cast<Duration>(*v * 1e6);
+    }
+  }
+  if (auto it = params.find("minMobileEntities"); it != params.end()) {
+    if (auto v = parseInt(it->second); v && *v > 0) {
+      minMobileEntities_ = static_cast<std::size_t>(*v);
+    }
+  }
+}
+
+void MobilityAwarenessModule::onPacket(const net::CapturedPacket& pkt,
+                                       const net::Dissection& dis,
+                                       ModuleContext& ctx) {
+  (void)ctx;
+  // Only link-layer senders we can identify contribute RSSI fingerprints.
+  const std::string entity = dis.linkSource();
+  if (entity == "?") return;
+  EntityState& state = entities_[entity];
+  state.fast.add(pkt.meta.rssiDbm);
+  state.slow.add(pkt.meta.rssiDbm);
+  ++state.samples;
+  if (state.samples >= minSamples_ &&
+      std::fabs(state.fast.value() - state.slow.value()) > thresholdDb_) {
+    state.lastEvidence = pkt.meta.timestamp;
+    state.sawEvidence = true;
+  }
+}
+
+void MobilityAwarenessModule::onTick(ModuleContext& ctx) {
+  // Publish per-entity signal strength when it moved >= 2 dB since the last
+  // write (collective: peers correlate these to confirm network mobility).
+  for (auto& [entity, state] : entities_) {
+    if (state.samples < 3) continue;
+    const double current = state.fast.value();
+    if (std::fabs(current - state.lastPublished) >= 2.0) {
+      state.lastPublished = current;
+      ctx.kb.putInt(labels::kSignalStrength,
+                    static_cast<long long>(std::lround(current)), entity,
+                    /*collective=*/true);
+    }
+  }
+
+  // Publish the network-wide mobility verdict once we have a basis for it.
+  bool haveBasis = false;
+  for (const auto& [entity, state] : entities_) {
+    if (state.samples >= minSamples_) {
+      haveBasis = true;
+      break;
+    }
+  }
+  if (!haveBasis) return;
+
+  std::size_t mobileEntities = 0;
+  for (const auto& [entity, state] : entities_) {
+    if (state.sawEvidence && ctx.now <= state.lastEvidence + holdTime_) {
+      ++mobileEntities;
+    }
+  }
+  const bool mobileNow = mobileEntities >= minMobileEntities_;
+  if (!published_ || publishedValue_ != mobileNow) {
+    published_ = true;
+    publishedValue_ = mobileNow;
+    ctx.kb.putBool(labels::kMobility, mobileNow, "", /*collective=*/true);
+  }
+}
+
+std::size_t MobilityAwarenessModule::memoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [entity, state] : entities_) {
+    bytes += entity.size() + sizeof(EntityState) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,71 @@
+#include "kalis/modules/sinkhole.hpp"
+
+namespace kalis::ids {
+
+void SinkholeModule::configure(
+    const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("suddenDrop"); it != params.end()) {
+    if (auto v = parseInt(it->second); v && *v > 0) {
+      suddenDrop_ = static_cast<std::uint16_t>(*v);
+    }
+  }
+}
+
+void SinkholeModule::onPacket(const net::CapturedPacket& pkt,
+                              const net::Dissection& dis, ModuleContext& ctx) {
+  (void)pkt;
+  if (dis.ctpBeacon) {
+    const std::string sender = dis.linkSource();
+    const std::uint16_t etx = dis.ctpBeacon->etx;
+    const std::string root = ctx.kb.local(labels::kCtpRoot).value_or("");
+
+    bool suspicious = false;
+    std::string why;
+    if (etx == 0 && !root.empty() && sender != root) {
+      suspicious = true;
+      why = "non-root advertising ETX 0";
+    }
+    auto it = lastEtx_.find(sender);
+    if (it != lastEtx_.end() && it->second != 0xffff && etx != 0xffff &&
+        it->second > etx && it->second - etx >= suddenDrop_) {
+      suspicious = true;
+      why = "ETX collapsed " + std::to_string(it->second) + " -> " +
+            std::to_string(etx);
+    }
+    lastEtx_[sender] = etx;
+
+    if (suspicious && shouldAlert(sender, ctx.now, cooldown_)) {
+      Alert alert;
+      alert.type = AttackType::kSinkhole;
+      alert.time = ctx.now;
+      alert.moduleName = name();
+      alert.suspectEntities.push_back(sender);
+      alert.detail = why;
+      ctx.raiseAlert(std::move(alert));
+    }
+    return;
+  }
+
+  if (dis.rplDio) {
+    const std::string sender = dis.linkSource();
+    // The DODAG root holds rank 256 (MinHopRankIncrease); any other node
+    // advertising rank <= 256 is luring traffic.
+    const std::string rootEntity =
+        dis.rplDio->dodagId.embeddedShort()
+            ? net::toString(*dis.rplDio->dodagId.embeddedShort())
+            : "";
+    if (dis.rplDio->rank <= rootRank_ && sender != rootEntity &&
+        shouldAlert(sender, ctx.now, cooldown_)) {
+      Alert alert;
+      alert.type = AttackType::kSinkhole;
+      alert.time = ctx.now;
+      alert.moduleName = name();
+      alert.suspectEntities.push_back(sender);
+      alert.detail =
+          "non-root advertising RPL rank " + std::to_string(dis.rplDio->rank);
+      ctx.raiseAlert(std::move(alert));
+    }
+  }
+}
+
+}  // namespace kalis::ids

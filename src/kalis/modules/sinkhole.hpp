@@ -1,0 +1,47 @@
+// Sinkhole attack detection: a node lures traffic by advertising an
+// implausibly good route (CTP ETX ~0 without being the root, or an RPL rank
+// below/at the root's). Fig. 3 circles this attack too — the technique is
+// tied to the routing protocol in use and only makes sense on multi-hop
+// networks.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "kalis/module.hpp"
+
+namespace kalis::ids {
+
+class SinkholeModule final : public DetectionModule {
+ public:
+  std::string name() const override { return "SinkholeModule"; }
+  AttackType attack() const override { return AttackType::kSinkhole; }
+
+  bool required(const KnowledgeBase& kb) const override {
+    if (!kb.localBool(labels::kMultihopWpan).value_or(false)) return false;
+    return kb.localBool("Protocols.CTP").value_or(false) ||
+           kb.localBool("Protocols.RPL").value_or(false);
+  }
+  std::vector<std::string> watchedLabels() const override {
+    return {"Multihop*", "Protocols.CTP", "Protocols.RPL"};
+  }
+
+  void configure(const std::map<std::string, std::string>& params) override;
+  void onPacket(const net::CapturedPacket& pkt, const net::Dissection& dis,
+                ModuleContext& ctx) override;
+
+  std::uint32_t workUnitsPerPacket() const override { return 2; }
+  std::size_t memoryBytes() const override {
+    std::size_t bytes = sizeof(*this) + alertStateBytes();
+    for (const auto& [k, v] : lastEtx_) bytes += k.size() + 16;
+    return bytes;
+  }
+
+ private:
+  std::uint16_t suddenDrop_ = 30;   ///< ETX improvement that is implausible
+  std::uint16_t rootRank_ = 256;    ///< RPL: minimum legitimate non-root rank
+  Duration cooldown_ = seconds(10);
+  std::map<std::string, std::uint16_t> lastEtx_;  ///< by advertising entity
+};
+
+}  // namespace kalis::ids

@@ -1,0 +1,124 @@
+#include "kalis/modules/syn_flood.hpp"
+
+#include <set>
+
+namespace kalis::ids {
+
+void SynFloodModule::configure(
+    const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("rateThresh"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) rateThresh_ = *v;
+  }
+  if (auto it = params.find("minSources"); it != params.end()) {
+    if (auto v = parseInt(it->second); v && *v > 0) {
+      minSources_ = static_cast<std::size_t>(*v);
+    }
+  }
+  if (auto it = params.find("halfOpenRatio"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) halfOpenRatio_ = *v;
+  }
+}
+
+void SynFloodModule::evict(VictimState& state, SimTime now) {
+  const SimTime cutoff = now > window_ ? now - window_ : 0;
+  while (!state.syns.empty() && state.syns.front().time <= cutoff) {
+    state.syns.pop_front();
+  }
+}
+
+void SynFloodModule::onPacket(const net::CapturedPacket& pkt,
+                              const net::Dissection& dis, ModuleContext& ctx) {
+  (void)ctx;
+  if (!dis.tcp) return;
+  const auto netSrc = dis.networkSource();
+  const auto netDst = dis.networkDest();
+  if (!netSrc || !netDst) return;
+
+  if (dis.type == net::PacketType::kTcpSyn) {
+    VictimState& state = victims_[*netDst];
+    state.syns.push_back(SynRecord{pkt.meta.timestamp, *netSrc,
+                                   dis.linkSource(), dis.tcp->seq, false});
+    evict(state, pkt.meta.timestamp);
+    return;
+  }
+
+  // A handshake-completing ACK from the initiator: ackNo == server_isn+1 is
+  // unknowable passively without tracking the SYN-ACK, so match on the
+  // initiator's (src, seq): the final ACK carries seq == isn+1.
+  if (dis.type == net::PacketType::kTcpAck) {
+    auto it = victims_.find(*netDst);
+    if (it == victims_.end()) return;
+    for (SynRecord& rec : it->second.syns) {
+      if (!rec.completed && rec.claimedSrc == *netSrc &&
+          dis.tcp->seq == rec.isn + 1) {
+        rec.completed = true;
+        break;
+      }
+    }
+  }
+}
+
+void SynFloodModule::onTick(ModuleContext& ctx) {
+  for (auto& [victim, state] : victims_) {
+    evict(state, ctx.now);
+    if (state.syns.empty()) continue;
+    std::size_t halfOpen = 0;
+    std::set<std::string> sources;
+    // Grace period: a SYN younger than 1 s may simply not be answered yet.
+    std::size_t mature = 0;
+    for (const SynRecord& rec : state.syns) {
+      const bool isMature = ctx.now >= rec.time + seconds(1);
+      if (!isMature) continue;
+      ++mature;
+      if (!rec.completed) {
+        ++halfOpen;
+        sources.insert(rec.claimedSrc);
+      }
+    }
+    if (mature == 0) continue;
+    const double halfOpenRate = static_cast<double>(halfOpen) / toSeconds(window_);
+    const double ratio = static_cast<double>(halfOpen) / static_cast<double>(mature);
+    if (halfOpenRate < rateThresh_ || sources.size() < minSources_ ||
+        ratio < halfOpenRatio_) {
+      continue;
+    }
+    if (!shouldAlert(victim, ctx.now, cooldown_)) continue;
+
+    // Physical suspects: link transmitters of the half-open SYNs.
+    std::map<std::string, std::size_t> linkCounts;
+    for (const SynRecord& rec : state.syns) {
+      if (!rec.completed) ++linkCounts[rec.linkSrc];
+    }
+    Alert alert;
+    alert.type = AttackType::kSynFlood;
+    alert.time = ctx.now;
+    alert.moduleName = name();
+    alert.victimEntity = victim;
+    std::string best;
+    std::size_t bestCount = 0;
+    for (const auto& [src, n] : linkCounts) {
+      if (n > bestCount) {
+        best = src;
+        bestCount = n;
+      }
+    }
+    alert.suspectEntities.push_back(best);
+    alert.detail = "half-open SYN rate " + formatDouble(halfOpenRate) +
+                   "/s, ratio " + formatDouble(ratio) + ", " +
+                   std::to_string(sources.size()) + " sources";
+    ctx.raiseAlert(std::move(alert));
+  }
+}
+
+std::size_t SynFloodModule::memoryBytes() const {
+  std::size_t bytes = sizeof(*this) + alertStateBytes();
+  for (const auto& [victim, state] : victims_) {
+    bytes += victim.size();
+    for (const auto& rec : state.syns) {
+      bytes += sizeof(rec) + rec.claimedSrc.size() + rec.linkSrc.size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace kalis::ids

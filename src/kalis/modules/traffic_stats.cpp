@@ -1,0 +1,128 @@
+#include "kalis/modules/traffic_stats.hpp"
+
+namespace kalis::ids {
+
+TrafficStatsModule::TrafficStatsModule() {
+  for (auto& counter : global_) {
+    counter = std::make_unique<SlidingCounter>(window_);
+  }
+}
+
+void TrafficStatsModule::configure(
+    const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("windowSeconds"); it != params.end()) {
+    if (auto v = parseDouble(it->second); v && *v > 0) {
+      window_ = static_cast<Duration>(*v * 1e6);
+      for (auto& counter : global_) {
+        counter = std::make_unique<SlidingCounter>(window_);
+      }
+      perDevice_.clear();
+    }
+  }
+}
+
+const char* TrafficStatsModule::protocolOf(const net::Dissection& dis) {
+  using net::PacketType;
+  switch (dis.type) {
+    case PacketType::kTcpSyn:
+    case PacketType::kTcpSynAck:
+    case PacketType::kTcpAck:
+    case PacketType::kTcpRst:
+    case PacketType::kTcpFin:
+    case PacketType::kTcpData:
+      return "TCP";
+    case PacketType::kUdp:
+      return "UDP";
+    case PacketType::kIcmpEchoReq:
+    case PacketType::kIcmpEchoRep:
+    case PacketType::kIcmpOther:
+    case PacketType::kIcmpv6EchoReq:
+    case PacketType::kIcmpv6EchoRep:
+      return "ICMP";
+    case PacketType::kCtpData:
+    case PacketType::kCtpRouting:
+      return "CTP";
+    case PacketType::kZigbeeData:
+    case PacketType::kZigbeeRouting:
+      return "ZigBee";
+    case PacketType::kRplDio:
+    case PacketType::kRplDao:
+      return "RPL";
+    case PacketType::kWifiBeacon:
+    case PacketType::kWifiProbe:
+    case PacketType::kWifiDeauth:
+      return "WiFi";
+    case PacketType::kBleAdv:
+    case PacketType::kBleScan:
+      return "BLE";
+    default:
+      return nullptr;
+  }
+}
+
+void TrafficStatsModule::onPacket(const net::CapturedPacket& pkt,
+                                  const net::Dissection& dis,
+                                  ModuleContext& ctx) {
+  (void)pkt;
+  lastNow_ = ctx.now;
+  const auto typeIdx = static_cast<std::size_t>(dis.type);
+  global_[typeIdx]->record(ctx.now);
+
+  // Per-device accounting against the traffic's *target* — the entity a
+  // DoS-style attack would be aimed at.
+  std::string target = dis.networkDest().value_or(dis.linkDest());
+  auto [it, inserted] = perDevice_.try_emplace(
+      std::make_pair(static_cast<int>(dis.type), std::move(target)),
+      window_);
+  it->second.record(ctx.now);
+
+  if (const char* proto = protocolOf(dis)) {
+    if (!protocolsSeen_[proto]) {
+      protocolsSeen_[proto] = true;
+      ctx.kb.putBool(std::string(labels::kProtocols) + "." + proto, true);
+    }
+  }
+}
+
+void TrafficStatsModule::onTick(ModuleContext& ctx) {
+  lastNow_ = ctx.now;
+  for (std::size_t i = 0; i < global_.size(); ++i) {
+    const double rate = global_[i]->rate(ctx.now);
+    if (rate > 0.0) {
+      ctx.kb.putDouble(std::string(labels::kTrafficFrequency) + "." +
+                           net::packetTypeName(static_cast<net::PacketType>(i)),
+                       rate);
+    }
+  }
+  for (auto& [key, counter] : perDevice_) {
+    const double rate = counter.rate(ctx.now);
+    if (rate > 0.0) {
+      ctx.kb.putDouble(
+          std::string(labels::kTrafficFrequency) + "." +
+              net::packetTypeName(static_cast<net::PacketType>(key.first)),
+          rate, key.second);
+    }
+  }
+}
+
+double TrafficStatsModule::globalRate(net::PacketType type, SimTime now) {
+  return global_[static_cast<std::size_t>(type)]->rate(now);
+}
+
+double TrafficStatsModule::deviceRate(net::PacketType type,
+                                      const std::string& entity, SimTime now) {
+  auto it = perDevice_.find(std::make_pair(static_cast<int>(type), entity));
+  if (it == perDevice_.end()) return 0.0;
+  return it->second.rate(now);
+}
+
+std::size_t TrafficStatsModule::memoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& counter : global_) bytes += counter->memoryBytes();
+  for (const auto& [key, counter] : perDevice_) {
+    bytes += key.second.size() + counter.memoryBytes() + 32;
+  }
+  return bytes;
+}
+
+}  // namespace kalis::ids

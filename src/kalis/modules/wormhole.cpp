@@ -1,0 +1,132 @@
+#include "kalis/modules/wormhole.hpp"
+
+#include <sstream>
+
+#include "kalis/modules/forwarding_watchdog.hpp"
+
+namespace kalis::ids {
+
+namespace {
+
+std::string inboundKey(std::uint16_t src, std::uint8_t seq,
+                       const std::string& receiver) {
+  return std::to_string(src) + ":" + std::to_string(seq) + ">" + receiver;
+}
+
+std::set<std::uint64_t> parseFpCsv(const std::string& csv) {
+  std::set<std::uint64_t> out;
+  for (const std::string& part : split(csv, ',')) {
+    if (part.empty()) continue;
+    out.insert(std::stoull(part, nullptr, 16));
+  }
+  return out;
+}
+
+}  // namespace
+
+void WormholeModule::configure(
+    const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("minMatches"); it != params.end()) {
+    if (auto v = parseInt(it->second); v && *v > 0) {
+      minMatches_ = static_cast<std::size_t>(*v);
+    }
+  }
+}
+
+void WormholeModule::onPacket(const net::CapturedPacket& pkt,
+                              const net::Dissection& dis, ModuleContext& ctx) {
+  (void)ctx;
+  if (!dis.zigbee || !dis.wpan) return;
+  const net::ZigbeeNwkFrame& nwk = *dis.zigbee;
+  const std::string sender = dis.linkSource();
+  const std::string receiver = dis.linkDest();
+  const std::string nwkSrc = net::toString(nwk.src);
+  directSenders_.insert(sender);
+
+  // Remember what was legitimately handed to whom.
+  if (!dis.wpan->dst.isBroadcast()) {
+    const std::string key = inboundKey(nwk.src.value, nwk.seq, receiver);
+    if (inboundSet_.insert(key).second) {
+      inboundRecent_.push_back(key);
+      while (inboundRecent_.size() > 8192) {
+        inboundSet_.erase(inboundRecent_.front());
+        inboundRecent_.pop_front();
+      }
+    }
+  }
+
+  // Unexplained relay: `sender` transmits in the name of an origin it was
+  // never handed a frame from, and which we never heard transmit itself.
+  if (nwkSrc != sender && !directSenders_.contains(nwkSrc)) {
+    const std::string key = inboundKey(nwk.src.value, nwk.seq, sender);
+    if (!inboundSet_.contains(key)) {
+      auto& queue = unexplained_[sender];
+      queue.push_back(Injection{
+          pkt.meta.timestamp,
+          ForwardingWatchdog::fingerprint(nwk.src.value, nwk.seq,
+                                          BytesView(nwk.payload))});
+      const SimTime cutoff =
+          pkt.meta.timestamp > window_ ? pkt.meta.timestamp - window_ : 0;
+      while (!queue.empty() && queue.front().time <= cutoff) queue.pop_front();
+    }
+  }
+}
+
+void WormholeModule::onTick(ModuleContext& ctx) {
+  // Publish local unexplained-injection evidence (collective).
+  for (auto& [entity, queue] : unexplained_) {
+    const SimTime cutoff = ctx.now > window_ ? ctx.now - window_ : 0;
+    while (!queue.empty() && queue.front().time <= cutoff) queue.pop_front();
+    if (queue.empty()) continue;
+    std::ostringstream csv;
+    std::size_t i = 0;
+    for (const Injection& inj : queue) {
+      if (i++ >= 64) break;
+      if (i > 1) csv << ",";
+      csv << std::hex << inj.fp;
+    }
+    ctx.kb.put(labels::kWormholeUnexplained, csv.str(), entity,
+               /*collective=*/true);
+  }
+
+  // Correlate drop evidence against injection evidence across all creators
+  // present in the Knowledge Base (local and peers').
+  const auto drops = ctx.kb.byLabel(labels::kWormholeDrops);
+  const auto injections = ctx.kb.byLabel(labels::kWormholeUnexplained);
+  for (const Knowgget& drop : drops) {
+    const auto dropFps = parseFpCsv(drop.value);
+    if (dropFps.empty()) continue;
+    for (const Knowgget& inj : injections) {
+      if (inj.entity == drop.entity) continue;
+      const auto injFps = parseFpCsv(inj.value);
+      std::size_t matches = 0;
+      for (std::uint64_t fp : injFps) {
+        if (dropFps.contains(fp)) ++matches;
+      }
+      if (matches < minMatches_) continue;
+      const std::string pairKey = drop.entity + "|" + inj.entity;
+      if (!shouldAlert(pairKey, ctx.now, cooldown_)) continue;
+      Alert alert;
+      alert.type = AttackType::kWormhole;
+      alert.time = ctx.now;
+      alert.moduleName = name();
+      alert.suspectEntities = {drop.entity, inj.entity};
+      alert.detail = std::to_string(matches) +
+                     " tunneled packets matched between " + drop.creator +
+                     " and " + inj.creator;
+      ctx.raiseAlert(std::move(alert));
+    }
+  }
+}
+
+std::size_t WormholeModule::memoryBytes() const {
+  std::size_t bytes = sizeof(*this) + alertStateBytes();
+  for (const auto& s : directSenders_) bytes += s.size() + 16;
+  for (const auto& k : inboundRecent_) bytes += k.size() * 2 + 32;
+  for (const auto& [entity, queue] : unexplained_) {
+    bytes += entity.size() + queue.size() * sizeof(Injection) + 32;
+  }
+  return bytes;
+}
+
+}  // namespace kalis::ids

@@ -1,0 +1,54 @@
+// Deployment-profile generation — the paper's §VIII future-work vision:
+// "selecting a specific module configuration — based on the knowledge
+// collected by Kalis in a network — and deploy[ing] that configuration at
+// compile-time on very small devices such as WSN nodes".
+//
+// Given a populated Knowledge Base (from a learning run) and the module
+// registry, the generator computes the minimal module set whose services
+// the network's features actually require, estimates its footprint, and
+// emits (a) a Fig. 6-syntax configuration file freezing that set plus the
+// learned static knowggets, and (b) a build manifest a firmware build could
+// consume to compile only those modules in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kalis/config.hpp"
+#include "kalis/knowledge.hpp"
+#include "kalis/module_registry.hpp"
+
+namespace kalis::ids {
+
+struct DeploymentProfile {
+  std::vector<std::string> modules;        ///< minimal required set
+  std::vector<std::string> excluded;       ///< library modules ruled out
+  KalisConfig config;                      ///< frozen config (modules + knowggets)
+  std::size_t estimatedFootprintBytes = 0; ///< module state estimate
+};
+
+struct ProfileOptions {
+  /// Labels of knowggets to freeze into the generated config as a-priori
+  /// knowledge. Defaults cover the feature knowggets the activation
+  /// predicates consume.
+  std::vector<std::string> frozenLabels = {
+      labels::kMultihop, labels::kMultihopWpan, labels::kMultihopWifi,
+      labels::kMobility, labels::kCtpRoot, "Protocols.TCP", "Protocols.UDP",
+      "Protocols.ICMP", "Protocols.CTP", "Protocols.RPL", "Protocols.ZigBee",
+      "Protocols.WiFi", "Protocols.BLE", "LinkEncryption.P802154",
+      "LinkEncryption.WiFi"};
+  /// Sensing modules to keep even though they are always "required":
+  /// constrained deployments may drop knowledge discovery entirely.
+  bool keepSensingModules = false;
+};
+
+/// Computes the profile for the network described by `kb`.
+DeploymentProfile generateProfile(const KnowledgeBase& kb,
+                                  const ModuleRegistry& registry,
+                                  const ProfileOptions& options = {});
+
+/// Renders the build manifest: one "module <name>" line per compiled-in
+/// module plus the frozen feature summary, '#'-commented header.
+std::string formatBuildManifest(const DeploymentProfile& profile);
+
+}  // namespace kalis::ids

@@ -1,0 +1,55 @@
+#include "kalis/siem_export.hpp"
+
+#include <sstream>
+
+namespace kalis::ids {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string toSiemJson(const Alert& alert) {
+  std::ostringstream oss;
+  oss << "{\"v\":1,\"kind\":\"alert\",\"ts\":" << formatDouble(toSeconds(alert.time))
+      << ",\"attack\":\"" << attackName(alert.type) << "\",\"module\":\""
+      << jsonEscape(alert.moduleName) << "\",\"victim\":\""
+      << jsonEscape(alert.victimEntity) << "\",\"suspects\":[";
+  for (std::size_t i = 0; i < alert.suspectEntities.size(); ++i) {
+    if (i) oss << ",";
+    oss << "\"" << jsonEscape(alert.suspectEntities[i]) << "\"";
+  }
+  oss << "],\"confidence\":" << formatDouble(alert.confidence)
+      << ",\"detail\":\"" << jsonEscape(alert.detail) << "\"}";
+  return oss.str();
+}
+
+std::string toSiemJson(const Knowgget& knowgget) {
+  std::ostringstream oss;
+  oss << "{\"v\":1,\"kind\":\"knowgget\",\"ts\":"
+      << formatDouble(toSeconds(knowgget.updated)) << ",\"key\":\""
+      << jsonEscape(encodeKey(knowgget.creator, knowgget.label, knowgget.entity))
+      << "\",\"value\":\"" << jsonEscape(knowgget.value) << "\",\"collective\":"
+      << (knowgget.collective ? "true" : "false") << "}";
+  return oss.str();
+}
+
+}  // namespace kalis::ids

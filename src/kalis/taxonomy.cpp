@@ -1,0 +1,203 @@
+#include "kalis/taxonomy.hpp"
+
+namespace kalis::ids::taxonomy {
+
+const char* entityKindName(EntityKind k) {
+  switch (k) {
+    case EntityKind::kInternetService: return "Internet Service";
+    case EntityKind::kHub: return "Hub";
+    case EntityKind::kSub: return "Sub";
+    case EntityKind::kRouter: return "Router";
+  }
+  return "?";
+}
+
+const char* patternKindName(PatternKind k) {
+  switch (k) {
+    case PatternKind::kNotPossible: return "-";
+    case PatternKind::kDenialOfService: return "Denial of Service";
+    case PatternKind::kRemoteDot: return "Remote Denial of Thing";
+    case PatternKind::kControlDot: return "Control Denial of Thing";
+    case PatternKind::kDot: return "Denial of Thing";
+    case PatternKind::kDenialOfRouting: return "Denial of Routing";
+  }
+  return "?";
+}
+
+PatternKind attackPattern(EntityKind source, EntityKind target) {
+  // Transcription of Table I. Rows: source; columns: target.
+  using E = EntityKind;
+  using P = PatternKind;
+  switch (source) {
+    case E::kInternetService:
+      switch (target) {
+        case E::kInternetService: return P::kDenialOfService;
+        case E::kHub: return P::kRemoteDot;
+        case E::kSub: return P::kNotPossible;
+        case E::kRouter: return P::kNotPossible;
+      }
+      break;
+    case E::kHub:
+      switch (target) {
+        case E::kInternetService: return P::kDenialOfService;
+        case E::kHub: return P::kControlDot;
+        case E::kSub: return P::kDot;
+        case E::kRouter: return P::kDenialOfRouting;
+      }
+      break;
+    case E::kSub:
+      switch (target) {
+        case E::kInternetService: return P::kNotPossible;
+        case E::kHub: return P::kNotPossible;
+        case E::kSub: return P::kDot;
+        case E::kRouter: return P::kNotPossible;
+      }
+      break;
+    case E::kRouter:
+      switch (target) {
+        case E::kInternetService: return P::kNotPossible;
+        case E::kHub: return P::kControlDot;
+        case E::kSub: return P::kNotPossible;
+        case E::kRouter: return P::kDenialOfRouting;
+      }
+      break;
+  }
+  return P::kNotPossible;
+}
+
+const char* featureName(Feature f) {
+  switch (f) {
+    case Feature::kSingleHop: return "single-hop";
+    case Feature::kMultiHop: return "multi-hop";
+    case Feature::kStaticNetwork: return "static";
+    case Feature::kMobileNetwork: return "mobile";
+    case Feature::kCryptoDeployed: return "crypto deployed";
+    case Feature::kTcpTraffic: return "TCP traffic";
+    case Feature::kIcmpTraffic: return "ICMP traffic";
+    case Feature::kRoutingProtocol: return "routing protocol";
+    case Feature::kWifiPresent: return "WiFi present";
+    case Feature::kWpanPresent: return "802.15.4 present";
+  }
+  return "?";
+}
+
+const char* applicabilityMark(Applicability a) {
+  switch (a) {
+    case Applicability::kPossible: return "o";
+    case Applicability::kImpossible: return "x";
+    case Applicability::kTechniqueDependent: return "(o)";
+  }
+  return "?";
+}
+
+Applicability featureAttack(Feature f, AttackType a) {
+  using F = Feature;
+  using A = AttackType;
+  using R = Applicability;
+  switch (a) {
+    case A::kSmurf:
+      // "the Smurf attack is not possible in single-hop networks" (§III-A1).
+      if (f == F::kSingleHop) return R::kImpossible;
+      if (f == F::kIcmpTraffic || f == F::kMultiHop) return R::kPossible;
+      break;
+    case A::kIcmpFlood:
+      if (f == F::kIcmpTraffic) return R::kPossible;
+      break;
+    case A::kSynFlood:
+      if (f == F::kTcpTraffic) return R::kPossible;
+      if (f == F::kWpanPresent) return R::kImpossible;  // no TCP on raw WPAN
+      break;
+    case A::kSelectiveForwarding:
+    case A::kBlackhole:
+      // "a selective forwarding attack cannot be carried out in a
+      // single-hop network" (§III).
+      if (f == F::kSingleHop) return R::kImpossible;
+      if (f == F::kMultiHop) return R::kPossible;
+      break;
+    case A::kWormhole:
+      if (f == F::kSingleHop) return R::kImpossible;
+      if (f == F::kMultiHop) return R::kPossible;
+      break;
+    case A::kReplication:
+      // "each one is specific to a network with certain characteristics,
+      // e.g. mobility" (§VI-B2): circle on static/mobile.
+      if (f == F::kStaticNetwork || f == F::kMobileNetwork) {
+        return R::kTechniqueDependent;
+      }
+      if (f == F::kWpanPresent) return R::kPossible;
+      break;
+    case A::kSybil:
+      // "for attacks such as sybil and sinkhole the detection techniques for
+      // single-hop networks are significantly different from those adopted
+      // for multi-hop networks" (§III-B2).
+      if (f == F::kSingleHop || f == F::kMultiHop) {
+        return R::kTechniqueDependent;
+      }
+      break;
+    case A::kSinkhole:
+      if (f == F::kSingleHop) return R::kImpossible;  // nothing to route
+      if (f == F::kMultiHop) return R::kTechniqueDependent;
+      if (f == F::kRoutingProtocol) return R::kPossible;
+      break;
+    case A::kDataAlteration:
+      // "cryptographic techniques deployed on some of the monitored devices
+      // make the latter immune to attacks such as data alteration" (§III-B2).
+      if (f == F::kCryptoDeployed) return R::kImpossible;
+      if (f == F::kSingleHop) return R::kImpossible;  // nothing forwarded
+      if (f == F::kMultiHop) return R::kPossible;
+      break;
+    case A::kHelloFlood:
+      // Beacon floods drain batteries regardless of hop structure.
+      if (f == F::kRoutingProtocol) return R::kPossible;
+      break;
+    case A::kDeauthFlood:
+      if (f == F::kWifiPresent) return R::kPossible;
+      if (f == F::kWpanPresent) return R::kImpossible;
+      break;
+    default:
+      break;
+  }
+  return Applicability::kPossible;  // default: cannot be ruled out
+}
+
+std::vector<AttackType> ruledOutBy(Feature f) {
+  std::vector<AttackType> out;
+  for (std::size_t i = 1; i < kNumAttackTypes; ++i) {
+    const auto attack = static_cast<AttackType>(i);
+    if (featureAttack(f, attack) == Applicability::kImpossible) {
+      out.push_back(attack);
+    }
+  }
+  return out;
+}
+
+std::vector<Feature> featuresFrom(const KnowledgeBase& kb) {
+  std::vector<Feature> out;
+  if (auto mh = kb.localBool(labels::kMultihop)) {
+    out.push_back(*mh ? Feature::kMultiHop : Feature::kSingleHop);
+  }
+  if (auto mob = kb.localBool(labels::kMobility)) {
+    out.push_back(*mob ? Feature::kMobileNetwork : Feature::kStaticNetwork);
+  }
+  if (kb.localBool("LinkEncryption.P802154").value_or(false) ||
+      kb.localBool("LinkEncryption.WiFi").value_or(false)) {
+    out.push_back(Feature::kCryptoDeployed);
+  }
+  if (kb.localBool("Protocols.TCP").value_or(false)) {
+    out.push_back(Feature::kTcpTraffic);
+  }
+  if (kb.localBool("Protocols.ICMP").value_or(false)) {
+    out.push_back(Feature::kIcmpTraffic);
+  }
+  if (kb.localBool("Protocols.CTP").value_or(false) ||
+      kb.localBool("Protocols.RPL").value_or(false) ||
+      kb.localBool("Protocols.ZigBee").value_or(false)) {
+    out.push_back(Feature::kRoutingProtocol);
+  }
+  if (kb.localBool("Protocols.WiFi").value_or(false)) {
+    out.push_back(Feature::kWifiPresent);
+  }
+  return out;
+}
+
+}  // namespace kalis::ids::taxonomy

@@ -1,0 +1,83 @@
+// The two IoT threat taxonomies of paper §III-B, as queryable data.
+//
+// Table I classifies attack *patterns* by (source, target) entity kind.
+// Fig. 3 relates network/device *features* to attacks: possible (dot),
+// impossible (cross), or possible-with-feature-dependent-technique (circle).
+// The Fig. 3 instance here reconstructs every relationship the paper text
+// states explicitly (Smurf/selective-forwarding impossible on single-hop,
+// replication technique depends on mobility, sybil/sinkhole techniques
+// depend on hop structure, crypto rules out data alteration, ...) and fills
+// the remainder with the natural readings; tests cross-check it against the
+// detection modules' required() predicates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kalis/alert.hpp"
+#include "kalis/knowledge.hpp"
+
+namespace kalis::ids::taxonomy {
+
+// --- Table I: attack patterns by target -------------------------------------
+
+enum class EntityKind : std::uint8_t {
+  kInternetService = 0,
+  kHub,
+  kSub,
+  kRouter,
+};
+inline constexpr std::size_t kNumEntityKinds = 4;
+
+const char* entityKindName(EntityKind k);
+
+enum class PatternKind : std::uint8_t {
+  kNotPossible = 0,   ///< the "-" cells: source cannot reach target
+  kDenialOfService,   ///< classic DoS against Internet services
+  kRemoteDot,         ///< Internet -> hub "Remote Denial of Thing"
+  kControlDot,        ///< hub/router -> hub "Control Denial of Thing"
+  kDot,               ///< Denial of Thing against a sub
+  kDenialOfRouting,   ///< attacks targeting IoT routers
+};
+
+const char* patternKindName(PatternKind k);
+
+/// Table I lookup: what attack pattern a `source` mounts against `target`.
+PatternKind attackPattern(EntityKind source, EntityKind target);
+
+// --- Fig. 3: features vs attacks ---------------------------------------------
+
+enum class Feature : std::uint8_t {
+  kSingleHop = 0,
+  kMultiHop,
+  kStaticNetwork,
+  kMobileNetwork,
+  kCryptoDeployed,
+  kTcpTraffic,
+  kIcmpTraffic,
+  kRoutingProtocol,   ///< CTP / RPL / ZigBee routing present
+  kWifiPresent,
+  kWpanPresent,
+};
+inline constexpr std::size_t kNumFeatures = 10;
+
+const char* featureName(Feature f);
+
+enum class Applicability : std::uint8_t {
+  kPossible,           ///< dot
+  kImpossible,         ///< cross
+  kTechniqueDependent, ///< circle: right technique depends on the feature
+};
+
+const char* applicabilityMark(Applicability a);  // "o", "x", "(o)"
+
+/// Fig. 3 cell for (feature, attack).
+Applicability featureAttack(Feature f, AttackType a);
+
+/// Attacks a knowledge-driven IDS can *rule out* given that `f` holds.
+std::vector<AttackType> ruledOutBy(Feature f);
+
+/// Features currently established in a Knowledge Base (from its knowggets).
+std::vector<Feature> featuresFrom(const KnowledgeBase& kb);
+
+}  // namespace kalis::ids::taxonomy

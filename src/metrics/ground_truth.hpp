@@ -1,0 +1,39 @@
+// Ground-truth bookkeeping for the evaluation (§VI-A: "we run the systems on
+// 50 symptom instances, representing the ground truth for detection").
+//
+// Every attack injector records each injected symptom instance here; the
+// evaluation then scores an IDS's alert stream against these instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kalis/alert.hpp"
+#include "util/types.hpp"
+
+namespace kalis::metrics {
+
+struct SymptomInstance {
+  SimTime time = 0;
+  ids::AttackType type = ids::AttackType::kNone;
+  std::string victimEntity;   ///< may be empty when not applicable
+  std::string suspectEntity;  ///< the true attacker (for countermeasure checks)
+};
+
+class GroundTruth {
+ public:
+  void add(SimTime time, ids::AttackType type, std::string victim = "",
+           std::string suspect = "") {
+    instances_.push_back(
+        SymptomInstance{time, type, std::move(victim), std::move(suspect)});
+  }
+
+  const std::vector<SymptomInstance>& instances() const { return instances_; }
+  std::size_t size() const { return instances_.size(); }
+  void clear() { instances_.clear(); }
+
+ private:
+  std::vector<SymptomInstance> instances_;
+};
+
+}  // namespace kalis::metrics

@@ -1,0 +1,128 @@
+#include "net/addr.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace kalis::net {
+
+std::string toString(Mac16 a) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%04x", a.value);
+  return buf;
+}
+
+std::optional<Mac16> parseMac16(std::string_view s) {
+  s = trim(s);
+  if (startsWith(s, "0x") || startsWith(s, "0X")) s.remove_prefix(2);
+  if (s.empty() || s.size() > 4) return std::nullopt;
+  std::uint16_t v = 0;
+  for (char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return std::nullopt;
+    v = static_cast<std::uint16_t>((v << 4) | d);
+  }
+  return Mac16{v};
+}
+
+Mac48 Mac48::broadcast() {
+  Mac48 a;
+  a.bytes.fill(0xff);
+  return a;
+}
+
+bool Mac48::isBroadcast() const {
+  for (auto b : bytes) {
+    if (b != 0xff) return false;
+  }
+  return true;
+}
+
+std::string toString(const Mac48& a) {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", a.bytes[0],
+                a.bytes[1], a.bytes[2], a.bytes[3], a.bytes[4], a.bytes[5]);
+  return buf;
+}
+
+std::optional<Mac48> parseMac48(std::string_view s) {
+  auto parts = split(trim(s), ':');
+  if (parts.size() != 6) return std::nullopt;
+  Mac48 a;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (parts[i].size() != 2) return std::nullopt;
+    int hi, lo;
+    auto hexVal = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    hi = hexVal(parts[i][0]);
+    lo = hexVal(parts[i][1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    a.bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return a;
+}
+
+std::string toString(Ipv4Addr a) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (a.value >> 24) & 0xff,
+                (a.value >> 16) & 0xff, (a.value >> 8) & 0xff, a.value & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Addr> parseIpv4(std::string_view s) {
+  auto parts = split(trim(s), '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    auto octet = parseInt(p);
+    if (!octet || *octet < 0 || *octet > 255) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  return Ipv4Addr{v};
+}
+
+Ipv6Addr Ipv6Addr::linkLocalFromShort(Mac16 shortAddr) {
+  Ipv6Addr a;
+  a.bytes[0] = 0xfe;
+  a.bytes[1] = 0x80;
+  // RFC 4944 short-address IID: 0000:00ff:fe00:XXXX.
+  a.bytes[11] = 0xff;
+  a.bytes[12] = 0xfe;
+  a.bytes[14] = static_cast<std::uint8_t>(shortAddr.value >> 8);
+  a.bytes[15] = static_cast<std::uint8_t>(shortAddr.value & 0xff);
+  return a;
+}
+
+Ipv6Addr Ipv6Addr::allNodesMulticast() {
+  Ipv6Addr a;
+  a.bytes[0] = 0xff;
+  a.bytes[1] = 0x02;
+  a.bytes[15] = 0x01;
+  return a;
+}
+
+std::optional<Mac16> Ipv6Addr::embeddedShort() const {
+  if (bytes[0] != 0xfe || bytes[1] != 0x80) return std::nullopt;
+  if (bytes[11] != 0xff || bytes[12] != 0xfe) return std::nullopt;
+  return Mac16{static_cast<std::uint16_t>((bytes[14] << 8) | bytes[15])};
+}
+
+std::string toString(const Ipv6Addr& a) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf,
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                a.bytes[0], a.bytes[1], a.bytes[2], a.bytes[3], a.bytes[4],
+                a.bytes[5], a.bytes[6], a.bytes[7], a.bytes[8], a.bytes[9],
+                a.bytes[10], a.bytes[11], a.bytes[12], a.bytes[13], a.bytes[14],
+                a.bytes[15]);
+  return buf;
+}
+
+}  // namespace kalis::net

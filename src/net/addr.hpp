@@ -1,0 +1,110 @@
+// Link-layer and network-layer addresses.
+//
+// The simulated testbed mixes three address families, matching the paper's
+// setup: 16-bit IEEE 802.15.4 short addresses (TelosB/CTP/ZigBee side),
+// EUI-48 MAC addresses (WiFi side), and IPv4/IPv6 addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace kalis::net {
+
+/// IEEE 802.15.4 16-bit short address.
+struct Mac16 {
+  std::uint16_t value = 0xffff;  ///< 0xffff is the broadcast address.
+
+  static constexpr std::uint16_t kBroadcast = 0xffff;
+
+  constexpr bool isBroadcast() const { return value == kBroadcast; }
+  auto operator<=>(const Mac16&) const = default;
+};
+
+std::string toString(Mac16 a);
+std::optional<Mac16> parseMac16(std::string_view s);
+
+/// EUI-48 MAC address (WiFi / Bluetooth).
+struct Mac48 {
+  std::array<std::uint8_t, 6> bytes{};
+
+  static Mac48 broadcast();
+  bool isBroadcast() const;
+  auto operator<=>(const Mac48&) const = default;
+};
+
+std::string toString(const Mac48& a);
+std::optional<Mac48> parseMac48(std::string_view s);
+
+/// IPv4 address.
+struct Ipv4Addr {
+  std::uint32_t value = 0;  ///< host-order representation of the 4 octets.
+
+  static constexpr Ipv4Addr broadcast() { return {0xffffffffu}; }
+  constexpr bool isBroadcast() const { return value == 0xffffffffu; }
+  auto operator<=>(const Ipv4Addr&) const = default;
+};
+
+std::string toString(Ipv4Addr a);
+std::optional<Ipv4Addr> parseIpv4(std::string_view s);
+
+/// IPv6 address (used by the 6LoWPAN/RPL side).
+struct Ipv6Addr {
+  std::array<std::uint8_t, 16> bytes{};
+
+  /// fe80::/64 link-local address derived from a 16-bit short address, the
+  /// standard 6LoWPAN mapping for short-address interfaces.
+  static Ipv6Addr linkLocalFromShort(Mac16 shortAddr);
+  /// ff02::1 all-nodes multicast.
+  static Ipv6Addr allNodesMulticast();
+  bool isMulticast() const { return bytes[0] == 0xff; }
+  /// Recovers the 16-bit short address embedded by linkLocalFromShort.
+  std::optional<Mac16> embeddedShort() const;
+  auto operator<=>(const Ipv6Addr&) const = default;
+};
+
+std::string toString(const Ipv6Addr& a);
+
+}  // namespace kalis::net
+
+template <>
+struct std::hash<kalis::net::Mac16> {
+  std::size_t operator()(const kalis::net::Mac16& a) const noexcept {
+    return std::hash<std::uint16_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<kalis::net::Mac48> {
+  std::size_t operator()(const kalis::net::Mac48& a) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (auto b : a.bytes) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+template <>
+struct std::hash<kalis::net::Ipv4Addr> {
+  std::size_t operator()(const kalis::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<kalis::net::Ipv6Addr> {
+  std::size_t operator()(const kalis::net::Ipv6Addr& a) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (auto b : a.bytes) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};

@@ -1,0 +1,30 @@
+#include "net/ble.hpp"
+
+namespace kalis::net {
+
+Bytes BleAdvPdu::encode() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(type) & 0x0f);
+  w.u8(static_cast<std::uint8_t>(6 + advData.size()));
+  // BLE transmits the advertiser address least-significant byte first.
+  for (int i = 5; i >= 0; --i) w.u8(advAddr.bytes[static_cast<std::size_t>(i)]);
+  w.raw(advData);
+  return out;
+}
+
+std::optional<BleAdvPdu> decodeBleAdv(BytesView raw) {
+  if (raw.size() < 8) return std::nullopt;
+  ByteReader r(raw);
+  BleAdvPdu p;
+  p.type = static_cast<BlePduType>(*r.u8() & 0x0f);
+  const std::uint8_t len = *r.u8();
+  if (len < 6 || raw.size() < 2u + len) return std::nullopt;
+  auto addr = *r.take(6);
+  for (std::size_t i = 0; i < 6; ++i) p.advAddr.bytes[i] = addr[5 - i];
+  auto data = *r.take(len - 6u);
+  p.advData.assign(data.begin(), data.end());
+  return p;
+}
+
+}  // namespace kalis::net

@@ -1,0 +1,35 @@
+// Bluetooth Low Energy advertising PDUs (simplified link-layer view).
+// Consumer devices in the testbed (smart lock, dash button) advertise over
+// BLE; Kalis only needs to observe presence, identity and advertising rate.
+//
+// Layout: header(1: PDU type in low nibble) | length(1) | advAddr(6 LE) | advData
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace kalis::net {
+
+enum class BlePduType : std::uint8_t {
+  kAdvInd = 0x0,
+  kAdvDirectInd = 0x1,
+  kAdvNonconnInd = 0x2,
+  kScanReq = 0x3,
+  kScanRsp = 0x4,
+  kConnectReq = 0x5,
+};
+
+struct BleAdvPdu {
+  BlePduType type = BlePduType::kAdvInd;
+  Mac48 advAddr{};
+  Bytes advData;
+
+  Bytes encode() const;
+};
+
+std::optional<BleAdvPdu> decodeBleAdv(BytesView raw);
+
+}  // namespace kalis::net

@@ -1,0 +1,74 @@
+#include "net/ctp.hpp"
+
+#include "net/ieee802154.hpp"
+
+namespace kalis::net {
+
+Bytes CtpData::encode() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(options);
+  w.u8(thl);
+  w.u16be(etx);
+  w.u16be(origin.value);
+  w.u8(seqno);
+  w.u8(collectId);
+  w.raw(payload);
+  return out;
+}
+
+std::optional<CtpData> decodeCtpData(BytesView raw) {
+  ByteReader r(raw);
+  CtpData d;
+  auto options = r.u8();
+  auto thl = r.u8();
+  auto etx = r.u16be();
+  auto origin = r.u16be();
+  auto seqno = r.u8();
+  auto collectId = r.u8();
+  if (!options || !thl || !etx || !origin || !seqno || !collectId) {
+    return std::nullopt;
+  }
+  d.options = *options;
+  d.thl = *thl;
+  d.etx = *etx;
+  d.origin = Mac16{*origin};
+  d.seqno = *seqno;
+  d.collectId = *collectId;
+  auto rest = r.rest();
+  d.payload.assign(rest.begin(), rest.end());
+  return d;
+}
+
+Bytes CtpRoutingBeacon::encode() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(options);
+  w.u16be(parent.value);
+  w.u16be(etx);
+  return out;
+}
+
+std::optional<CtpRoutingBeacon> decodeCtpBeacon(BytesView raw) {
+  ByteReader r(raw);
+  CtpRoutingBeacon b;
+  auto options = r.u8();
+  auto parent = r.u16be();
+  auto etx = r.u16be();
+  if (!options || !parent || !etx) return std::nullopt;
+  b.options = *options;
+  b.parent = Mac16{*parent};
+  b.etx = *etx;
+  return b;
+}
+
+Bytes wrapTinyosAm(std::uint8_t amId, BytesView inner) {
+  Bytes out;
+  out.reserve(inner.size() + 2);
+  out.push_back(kDispatchTinyosAm);
+  out.push_back(amId);
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+}  // namespace kalis::net

@@ -1,0 +1,161 @@
+#include "net/ieee80211.hpp"
+
+#include "util/checksum.hpp"
+
+namespace kalis::net {
+
+namespace {
+
+// fc byte 0: subtype(4..7) | type(2..3) | version(0..1)
+// fc byte 1: order|wep|moreData|pwr|retry|moreFrag|fromDS|toDS
+struct FcBits {
+  std::uint8_t type;     // 0 mgmt, 2 data
+  std::uint8_t subtype;  // mgmt: 8 beacon, 4 probe req, 12 deauth; data: 0
+};
+
+FcBits fcBitsFor(WifiFrameKind kind) {
+  switch (kind) {
+    case WifiFrameKind::kData: return {2, 0};
+    case WifiFrameKind::kBeacon: return {0, 8};
+    case WifiFrameKind::kProbeRequest: return {0, 4};
+    case WifiFrameKind::kDeauth: return {0, 12};
+  }
+  return {2, 0};
+}
+
+void writeMac(ByteWriter& w, const Mac48& a) {
+  w.raw(BytesView(a.bytes.data(), a.bytes.size()));
+}
+
+Mac48 readMac(ByteReader& r) {
+  Mac48 a;
+  auto bytes = r.take(6);
+  if (bytes) std::copy(bytes->begin(), bytes->end(), a.bytes.begin());
+  return a;
+}
+
+}  // namespace
+
+Bytes WifiFrame::encode() const {
+  Bytes out;
+  ByteWriter w(out);
+  const FcBits fc = fcBitsFor(kind);
+  w.u8(static_cast<std::uint8_t>((fc.subtype << 4) | (fc.type << 2)));
+  std::uint8_t fc1 = 0;
+  if (toDs) fc1 |= 0x01;
+  if (fromDs) fc1 |= 0x02;
+  if (protectedFrame) fc1 |= 0x40;
+  w.u8(fc1);
+  w.u16le(0);  // duration
+  // Physical address ordering depends on direction bits.
+  if (toDs && !fromDs) {
+    writeMac(w, bssid);
+    writeMac(w, src);
+    writeMac(w, dst);
+  } else if (!toDs && fromDs) {
+    writeMac(w, dst);
+    writeMac(w, bssid);
+    writeMac(w, src);
+  } else {
+    writeMac(w, dst);
+    writeMac(w, src);
+    writeMac(w, bssid);
+  }
+  w.u16le(seqCtl);
+  w.raw(body);
+  w.u32le(crc32(BytesView(out)));
+  return out;
+}
+
+std::optional<WifiDecoded> decodeWifi(BytesView raw) {
+  if (raw.size() < 24 + 4) return std::nullopt;
+  ByteReader r(raw);
+  auto fc0 = *r.u8();
+  auto fc1 = *r.u8();
+  r.u16le();  // duration
+  if ((fc0 & 0x03) != 0) return std::nullopt;  // protocol version must be 0
+
+  WifiDecoded d;
+  const std::uint8_t type = (fc0 >> 2) & 0x3;
+  const std::uint8_t subtype = (fc0 >> 4) & 0xf;
+  if (type == 2) {
+    d.frame.kind = WifiFrameKind::kData;
+  } else if (type == 0 && subtype == 8) {
+    d.frame.kind = WifiFrameKind::kBeacon;
+  } else if (type == 0 && subtype == 4) {
+    d.frame.kind = WifiFrameKind::kProbeRequest;
+  } else if (type == 0 && subtype == 12) {
+    d.frame.kind = WifiFrameKind::kDeauth;
+  } else {
+    return std::nullopt;
+  }
+  d.frame.toDs = fc1 & 0x01;
+  d.frame.fromDs = fc1 & 0x02;
+  d.frame.protectedFrame = fc1 & 0x40;
+
+  const Mac48 a1 = readMac(r);
+  const Mac48 a2 = readMac(r);
+  const Mac48 a3 = readMac(r);
+  if (d.frame.toDs && !d.frame.fromDs) {
+    d.frame.bssid = a1;
+    d.frame.src = a2;
+    d.frame.dst = a3;
+  } else if (!d.frame.toDs && d.frame.fromDs) {
+    d.frame.dst = a1;
+    d.frame.bssid = a2;
+    d.frame.src = a3;
+  } else {
+    d.frame.dst = a1;
+    d.frame.src = a2;
+    d.frame.bssid = a3;
+  }
+  d.frame.seqCtl = *r.u16le();
+
+  const std::size_t bodyLen = r.remaining() - 4;
+  auto body = *r.take(bodyLen);
+  d.frame.body.assign(body.begin(), body.end());
+  auto fcs = *r.u32le();
+  d.fcsValid = (fcs == crc32(raw.subspan(0, raw.size() - 4)));
+  return d;
+}
+
+Bytes llcSnapWrap(std::uint16_t ethertype, BytesView payload) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(0xaa);
+  w.u8(0xaa);
+  w.u8(0x03);
+  w.u8(0x00);
+  w.u8(0x00);
+  w.u8(0x00);
+  w.u16be(ethertype);
+  w.raw(payload);
+  return out;
+}
+
+std::optional<LlcSnapDecoded> llcSnapUnwrap(BytesView body) {
+  if (body.size() < 8) return std::nullopt;
+  if (body[0] != 0xaa || body[1] != 0xaa || body[2] != 0x03) return std::nullopt;
+  LlcSnapDecoded d;
+  d.ethertype = static_cast<std::uint16_t>((body[6] << 8) | body[7]);
+  d.payload = body.subspan(8);
+  return d;
+}
+
+Bytes beaconBody(const std::string& ssid) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(0x00);  // element id: SSID
+  w.u8(static_cast<std::uint8_t>(ssid.size()));
+  w.raw(bytesOf(ssid));
+  return out;
+}
+
+std::optional<std::string> beaconSsid(BytesView body) {
+  if (body.size() < 2 || body[0] != 0x00) return std::nullopt;
+  const std::size_t len = body[1];
+  if (body.size() < 2 + len) return std::nullopt;
+  return std::string(body.begin() + 2, body.begin() + 2 + len);
+}
+
+}  // namespace kalis::net

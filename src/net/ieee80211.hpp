@@ -1,0 +1,68 @@
+// IEEE 802.11 frames: data frames carrying LLC/SNAP + IP, and the management
+// beacons access points emit. Modeled in infrastructure (BSS) layout with the
+// three-address scheme.
+//
+// Data frame layout (little-endian frame control):
+//   fc(2) | duration(2) | addr1(6) | addr2(6) | addr3(6) | seqctl(2) | body | FCS(4)
+// For toDS=0/fromDS=1 (AP -> station): addr1 = dst, addr2 = BSSID, addr3 = src.
+// For toDS=1/fromDS=0 (station -> AP): addr1 = BSSID, addr2 = src, addr3 = dst.
+// We always expose logical (dst, src, bssid) regardless of direction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace kalis::net {
+
+enum class WifiFrameKind : std::uint8_t {
+  kData,
+  kBeacon,
+  kProbeRequest,
+  kDeauth,
+};
+
+struct WifiFrame {
+  WifiFrameKind kind = WifiFrameKind::kData;
+  bool toDs = false;
+  bool fromDs = false;
+  bool protectedFrame = false;  ///< WPA/WEP "protected" bit (feature signal)
+  Mac48 dst{};
+  Mac48 src{};
+  Mac48 bssid{};
+  std::uint16_t seqCtl = 0;
+  /// For data frames: LLC/SNAP + network payload. For beacons: the SSID.
+  Bytes body;
+
+  Bytes encode() const;
+};
+
+struct WifiDecoded {
+  WifiFrame frame;
+  bool fcsValid = false;
+};
+
+std::optional<WifiDecoded> decodeWifi(BytesView raw);
+
+// LLC/SNAP encapsulation for data frame bodies.
+inline constexpr std::uint16_t kEthertypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEthertypeIpv6 = 0x86dd;
+
+/// Prepends the 8-byte LLC/SNAP header (AA AA 03 00 00 00 ethertype).
+Bytes llcSnapWrap(std::uint16_t ethertype, BytesView payload);
+
+struct LlcSnapDecoded {
+  std::uint16_t ethertype = 0;
+  BytesView payload;
+};
+
+std::optional<LlcSnapDecoded> llcSnapUnwrap(BytesView body);
+
+/// Builds a beacon body carrying an SSID string.
+Bytes beaconBody(const std::string& ssid);
+std::optional<std::string> beaconSsid(BytesView body);
+
+}  // namespace kalis::net

@@ -1,0 +1,61 @@
+#include "net/ieee802154.hpp"
+
+#include "util/checksum.hpp"
+
+namespace kalis::net {
+
+namespace {
+// FCF bit positions (subset we use).
+constexpr std::uint16_t kFrameTypeMask = 0x0007;
+constexpr std::uint16_t kSecurityBit = 0x0008;
+constexpr std::uint16_t kAckRequestBit = 0x0020;
+constexpr std::uint16_t kPanCompressionBit = 0x0040;
+constexpr std::uint16_t kDstShortMode = 0x0800;   // dst addressing mode = 2
+constexpr std::uint16_t kSrcShortMode = 0x8000;   // src addressing mode = 2
+}  // namespace
+
+Bytes Ieee802154Frame::encode() const {
+  Bytes out;
+  ByteWriter w(out);
+  std::uint16_t fcf = static_cast<std::uint16_t>(type) & kFrameTypeMask;
+  if (securityEnabled) fcf |= kSecurityBit;
+  if (ackRequest) fcf |= kAckRequestBit;
+  fcf |= kPanCompressionBit | kDstShortMode | kSrcShortMode;
+  w.u16le(fcf);
+  w.u8(seq);
+  w.u16le(panId);
+  w.u16le(dst.value);
+  w.u16le(src.value);
+  w.raw(payload);
+  w.u16le(crc16Ccitt(BytesView(out)));
+  return out;
+}
+
+std::optional<Ieee802154Decoded> decodeIeee802154(BytesView raw) {
+  ByteReader r(raw);
+  auto fcf = r.u16le();
+  auto seq = r.u8();
+  auto pan = r.u16le();
+  auto dst = r.u16le();
+  auto src = r.u16le();
+  if (!fcf || !seq || !pan || !dst || !src) return std::nullopt;
+  if (r.remaining() < 2) return std::nullopt;  // room for the FCS
+
+  Ieee802154Decoded d;
+  d.frame.type = static_cast<WpanFrameType>(*fcf & kFrameTypeMask);
+  d.frame.securityEnabled = (*fcf & kSecurityBit) != 0;
+  d.frame.ackRequest = (*fcf & kAckRequestBit) != 0;
+  d.frame.seq = *seq;
+  d.frame.panId = *pan;
+  d.frame.dst = Mac16{*dst};
+  d.frame.src = Mac16{*src};
+
+  const std::size_t payloadLen = r.remaining() - 2;
+  auto payload = r.take(payloadLen);
+  auto fcs = r.u16le();
+  d.frame.payload.assign(payload->begin(), payload->end());
+  d.fcsValid = (*fcs == crc16Ccitt(raw.subspan(0, raw.size() - 2)));
+  return d;
+}
+
+}  // namespace kalis::net

@@ -1,0 +1,61 @@
+// IEEE 802.15.4 MAC frames (data / ack / beacon / command), short-address
+// mode with PAN-id compression — the configuration TelosB motes and ZigBee
+// devices use in practice.
+//
+// Wire layout (little-endian, per the standard):
+//   FCF(2) | seq(1) | dstPan(2) | dst16(2) | src16(2) | payload | FCS(2)
+// FCS is CRC-16/CCITT over all preceding bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace kalis::net {
+
+enum class WpanFrameType : std::uint8_t {
+  kBeacon = 0,
+  kData = 1,
+  kAck = 2,
+  kMacCommand = 3,
+};
+
+struct Ieee802154Frame {
+  WpanFrameType type = WpanFrameType::kData;
+  bool securityEnabled = false;   ///< link-layer security bit (feature signal)
+  bool ackRequest = false;
+  std::uint8_t seq = 0;
+  std::uint16_t panId = 0;
+  Mac16 dst{Mac16::kBroadcast};
+  Mac16 src{0};
+  Bytes payload;
+
+  /// Serializes the frame including a freshly computed FCS.
+  Bytes encode() const;
+};
+
+struct Ieee802154Decoded {
+  Ieee802154Frame frame;
+  bool fcsValid = false;
+};
+
+/// Decodes a frame; nullopt when structurally truncated. A bad FCS still
+/// decodes (an IDS wants to see corrupted traffic) with fcsValid=false.
+std::optional<Ieee802154Decoded> decodeIeee802154(BytesView raw);
+
+// --- payload dispatch -------------------------------------------------------
+// The first payload byte selects the network protocol stacked on 802.15.4.
+// 0x3f mirrors TinyOS's 802.15.4 "I-frame" AM dispatch; 0x41 is the real
+// 6LoWPAN "uncompressed IPv6" dispatch; 0x48 stands in for a ZigBee NWK frame.
+
+inline constexpr std::uint8_t kDispatchTinyosAm = 0x3f;
+inline constexpr std::uint8_t kDispatchIpv6Uncompressed = 0x41;
+inline constexpr std::uint8_t kDispatchZigbeeNwk = 0x48;
+
+// TinyOS Active Message ids used by the Collection Tree Protocol.
+inline constexpr std::uint8_t kAmCtpRouting = 0x70;
+inline constexpr std::uint8_t kAmCtpData = 0x71;
+
+}  // namespace kalis::net

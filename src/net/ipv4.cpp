@@ -1,0 +1,73 @@
+#include "net/ipv4.hpp"
+
+#include "util/checksum.hpp"
+
+namespace kalis::net {
+
+Bytes Ipv4Header::encode(BytesView payload) const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(tos);
+  w.u16be(static_cast<std::uint16_t>(20 + payload.size()));
+  w.u16be(identification);
+  w.u16be(0x4000);  // flags: DF, fragment offset 0
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  const std::size_t checksumOffset = out.size();
+  w.u16be(0);
+  w.u32be(src.value);
+  w.u32be(dst.value);
+  w.patchU16be(checksumOffset, internetChecksum(BytesView(out)));
+  w.raw(payload);
+  return out;
+}
+
+std::optional<Ipv4Decoded> decodeIpv4(BytesView raw) {
+  if (raw.size() < 20) return std::nullopt;
+  ByteReader r(raw);
+  auto verIhl = r.u8();
+  if ((*verIhl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = (*verIhl & 0x0f) * 4u;
+  if (ihl < 20 || raw.size() < ihl) return std::nullopt;
+  auto tos = r.u8();
+  auto totalLen = r.u16be();
+  auto ident = r.u16be();
+  r.u16be();  // flags/fragment
+  auto ttl = r.u8();
+  auto proto = r.u8();
+  r.u16be();  // checksum (validated over the whole header below)
+  auto src = r.u32be();
+  auto dst = r.u32be();
+  if (!dst) return std::nullopt;
+  r.skip(ihl - 20);
+
+  Ipv4Decoded d;
+  d.header.tos = *tos;
+  d.header.identification = *ident;
+  d.header.ttl = *ttl;
+  d.header.protocol = static_cast<IpProto>(*proto);
+  d.header.src = Ipv4Addr{*src};
+  d.header.dst = Ipv4Addr{*dst};
+  d.checksumValid = internetChecksum(raw.subspan(0, ihl)) == 0;
+
+  std::size_t payloadLen = *totalLen >= ihl ? *totalLen - ihl : 0;
+  if (payloadLen > raw.size() - ihl) payloadLen = raw.size() - ihl;
+  auto payload = raw.subspan(ihl, payloadLen);
+  d.payload.assign(payload.begin(), payload.end());
+  return d;
+}
+
+Bytes ipv4PseudoHeader(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
+                       std::uint16_t length) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u32be(src.value);
+  w.u32be(dst.value);
+  w.u8(0);
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u16be(length);
+  return out;
+}
+
+}  // namespace kalis::net

@@ -1,0 +1,43 @@
+// IPv4 header (RFC 791), standard 20-byte header without options.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace kalis::net {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kIcmpv6 = 58,
+};
+
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kTcp;
+  Ipv4Addr src{};
+  Ipv4Addr dst{};
+
+  /// Serializes header + payload with correct totalLength and checksum.
+  Bytes encode(BytesView payload) const;
+};
+
+struct Ipv4Decoded {
+  Ipv4Header header;
+  bool checksumValid = false;
+  Bytes payload;
+};
+
+std::optional<Ipv4Decoded> decodeIpv4(BytesView raw);
+
+/// The 12-byte IPv4 pseudo-header used by TCP/UDP checksums.
+Bytes ipv4PseudoHeader(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
+                       std::uint16_t length);
+
+}  // namespace kalis::net

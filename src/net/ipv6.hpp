@@ -1,0 +1,95 @@
+// IPv6 header (RFC 8200), ICMPv6, and the RPL control messages (RFC 6550)
+// carried over 6LoWPAN in the paper's IoT networks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "net/ipv4.hpp"  // IpProto
+#include "util/bytes.hpp"
+
+namespace kalis::net {
+
+struct Ipv6Header {
+  std::uint8_t trafficClass = 0;
+  std::uint32_t flowLabel = 0;
+  std::uint8_t nextHeader = static_cast<std::uint8_t>(IpProto::kIcmpv6);
+  std::uint8_t hopLimit = 64;
+  Ipv6Addr src{};
+  Ipv6Addr dst{};
+
+  Bytes encode(BytesView payload) const;
+};
+
+struct Ipv6Decoded {
+  Ipv6Header header;
+  Bytes payload;
+};
+
+std::optional<Ipv6Decoded> decodeIpv6(BytesView raw);
+
+/// IPv6 pseudo-header (RFC 8200 §8.1) for upper-layer checksums.
+Bytes ipv6PseudoHeader(const Ipv6Addr& src, const Ipv6Addr& dst,
+                       std::uint32_t length, std::uint8_t nextHeader);
+
+// --- ICMPv6 ------------------------------------------------------------------
+
+enum class Icmpv6Type : std::uint8_t {
+  kEchoRequest = 128,
+  kEchoReply = 129,
+  kRplControl = 155,
+};
+
+// RPL control message codes.
+inline constexpr std::uint8_t kRplCodeDis = 0x00;
+inline constexpr std::uint8_t kRplCodeDio = 0x01;
+inline constexpr std::uint8_t kRplCodeDao = 0x02;
+inline constexpr std::uint8_t kRplCodeDaoAck = 0x03;
+
+struct Icmpv6Message {
+  Icmpv6Type type = Icmpv6Type::kEchoRequest;
+  std::uint8_t code = 0;
+  Bytes body;
+
+  /// Serializes with the checksum over the IPv6 pseudo-header.
+  Bytes encode(const Ipv6Addr& src, const Ipv6Addr& dst) const;
+};
+
+struct Icmpv6Decoded {
+  Icmpv6Message message;
+  bool checksumValid = false;
+};
+
+std::optional<Icmpv6Decoded> decodeIcmpv6(BytesView raw, const Ipv6Addr& src,
+                                          const Ipv6Addr& dst);
+
+// --- RPL ---------------------------------------------------------------------
+
+/// DODAG Information Object — a router advertising its rank in the tree.
+/// Sinkhole attackers advertise an artificially low rank here.
+struct RplDio {
+  std::uint8_t instanceId = 0;
+  std::uint8_t versionNumber = 0;
+  std::uint16_t rank = 0;
+  std::uint8_t dtsn = 0;
+  Ipv6Addr dodagId{};
+
+  Bytes encodeBody() const;
+};
+
+std::optional<RplDio> decodeRplDio(BytesView body);
+
+/// Destination Advertisement Object — downward route registration.
+struct RplDao {
+  std::uint8_t instanceId = 0;
+  std::uint8_t daoSequence = 0;
+  Ipv6Addr dodagId{};
+  Ipv6Addr target{};
+
+  Bytes encodeBody() const;
+};
+
+std::optional<RplDao> decodeRplDao(BytesView body);
+
+}  // namespace kalis::net

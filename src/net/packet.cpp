@@ -1,0 +1,327 @@
+#include "net/packet.hpp"
+
+namespace kalis::net {
+
+const char* mediumName(Medium m) {
+  switch (m) {
+    case Medium::kIeee802154: return "802.15.4";
+    case Medium::kWifi: return "WiFi";
+    case Medium::kBluetooth: return "Bluetooth";
+  }
+  return "?";
+}
+
+const char* packetTypeName(PacketType t) {
+  switch (t) {
+    case PacketType::kUnknown: return "Unknown";
+    case PacketType::kMalformed: return "Malformed";
+    case PacketType::kWpanAck: return "WPANAck";
+    case PacketType::kWpanBeacon: return "WPANBeacon";
+    case PacketType::kCtpData: return "CTPData";
+    case PacketType::kCtpRouting: return "CTPRouting";
+    case PacketType::kZigbeeData: return "ZigbeeData";
+    case PacketType::kZigbeeRouting: return "ZigbeeRouting";
+    case PacketType::kRplDio: return "RPLDIO";
+    case PacketType::kRplDao: return "RPLDAO";
+    case PacketType::kIcmpv6EchoReq: return "ICMPv6EchoReq";
+    case PacketType::kIcmpv6EchoRep: return "ICMPv6EchoRep";
+    case PacketType::kSixlowpanOther: return "SixlowpanOther";
+    case PacketType::kWifiBeacon: return "WifiBeacon";
+    case PacketType::kWifiProbe: return "WifiProbe";
+    case PacketType::kWifiDeauth: return "WifiDeauth";
+    case PacketType::kTcpSyn: return "TCPSYN";
+    case PacketType::kTcpSynAck: return "TCPSYNACK";
+    case PacketType::kTcpAck: return "TCPACK";
+    case PacketType::kTcpRst: return "TCPRST";
+    case PacketType::kTcpFin: return "TCPFIN";
+    case PacketType::kTcpData: return "TCPData";
+    case PacketType::kUdp: return "UDP";
+    case PacketType::kIcmpEchoReq: return "ICMPEchoReq";
+    case PacketType::kIcmpEchoRep: return "ICMPEchoRep";
+    case PacketType::kIcmpOther: return "ICMPOther";
+    case PacketType::kIpOther: return "IPOther";
+    case PacketType::kBleAdv: return "BLEAdv";
+    case PacketType::kBleScan: return "BLEScan";
+  }
+  return "?";
+}
+
+std::string Dissection::linkSource() const {
+  if (wpan) return toString(wpan->src);
+  if (wifi) return toString(wifi->src);
+  if (ble) return toString(ble->advAddr);
+  return "?";
+}
+
+std::string Dissection::linkDest() const {
+  if (wpan) return toString(wpan->dst);
+  if (wifi) return toString(wifi->dst);
+  if (ble) return "broadcast";
+  return "?";
+}
+
+std::optional<std::string> Dissection::networkSource() const {
+  if (ipv4) return toString(ipv4->src);
+  if (ipv6) return toString(ipv6->src);
+  return std::nullopt;
+}
+
+std::optional<std::string> Dissection::networkDest() const {
+  if (ipv4) return toString(ipv4->dst);
+  if (ipv6) return toString(ipv6->dst);
+  return std::nullopt;
+}
+
+bool Dissection::isBroadcastDest() const {
+  if (wpan) return wpan->dst.isBroadcast();
+  if (wifi) return wifi->dst.isBroadcast();
+  if (ble) return true;
+  return false;
+}
+
+namespace {
+
+void classifyTcp(Dissection& d) {
+  const TcpFlags& f = d.tcp->flags;
+  if (f.isSynOnly()) {
+    d.type = PacketType::kTcpSyn;
+  } else if (f.isSynAck()) {
+    d.type = PacketType::kTcpSynAck;
+  } else if (f.rst) {
+    d.type = PacketType::kTcpRst;
+  } else if (f.fin) {
+    d.type = PacketType::kTcpFin;
+  } else if (!d.tcp->payload.empty()) {
+    d.type = PacketType::kTcpData;
+  } else if (f.ack) {
+    d.type = PacketType::kTcpAck;
+  } else {
+    d.type = PacketType::kTcpData;
+  }
+}
+
+void dissectIpv4Payload(Dissection& d, const Ipv4Decoded& ip) {
+  d.ipv4 = ip.header;
+  switch (ip.header.protocol) {
+    case IpProto::kTcp: {
+      if (auto t = decodeTcp(BytesView(ip.payload), ip.header.src, ip.header.dst)) {
+        d.tcp = t->segment;
+        d.appPayload = t->segment.payload;
+        classifyTcp(d);
+      } else {
+        d.type = PacketType::kMalformed;
+      }
+      break;
+    }
+    case IpProto::kUdp: {
+      if (auto u = decodeUdp(BytesView(ip.payload), ip.header.src, ip.header.dst)) {
+        d.udp = u->datagram;
+        d.appPayload = u->datagram.payload;
+        d.type = PacketType::kUdp;
+      } else {
+        d.type = PacketType::kMalformed;
+      }
+      break;
+    }
+    case IpProto::kIcmp: {
+      if (auto m = decodeIcmp(BytesView(ip.payload))) {
+        d.icmp = m->message;
+        d.appPayload = m->message.payload;
+        switch (m->message.type) {
+          case IcmpType::kEchoRequest: d.type = PacketType::kIcmpEchoReq; break;
+          case IcmpType::kEchoReply: d.type = PacketType::kIcmpEchoRep; break;
+          default: d.type = PacketType::kIcmpOther; break;
+        }
+      } else {
+        d.type = PacketType::kMalformed;
+      }
+      break;
+    }
+    default:
+      d.type = PacketType::kIpOther;
+      break;
+  }
+}
+
+void dissectIpv6Payload(Dissection& d, const Ipv6Decoded& ip) {
+  d.ipv6 = ip.header;
+  if (ip.header.nextHeader != static_cast<std::uint8_t>(IpProto::kIcmpv6)) {
+    d.type = PacketType::kSixlowpanOther;
+    d.appPayload = ip.payload;
+    return;
+  }
+  auto m = decodeIcmpv6(BytesView(ip.payload), ip.header.src, ip.header.dst);
+  if (!m) {
+    d.type = PacketType::kMalformed;
+    return;
+  }
+  d.icmpv6 = m->message;
+  switch (m->message.type) {
+    case Icmpv6Type::kEchoRequest:
+      d.type = PacketType::kIcmpv6EchoReq;
+      break;
+    case Icmpv6Type::kEchoReply:
+      d.type = PacketType::kIcmpv6EchoRep;
+      break;
+    case Icmpv6Type::kRplControl:
+      if (m->message.code == kRplCodeDio) {
+        d.rplDio = decodeRplDio(BytesView(m->message.body));
+        d.type = d.rplDio ? PacketType::kRplDio : PacketType::kMalformed;
+      } else if (m->message.code == kRplCodeDao) {
+        d.rplDao = decodeRplDao(BytesView(m->message.body));
+        d.type = d.rplDao ? PacketType::kRplDao : PacketType::kMalformed;
+      } else {
+        d.type = PacketType::kSixlowpanOther;
+      }
+      break;
+  }
+}
+
+void dissectWpan(Dissection& d, BytesView raw) {
+  auto decoded = decodeIeee802154(raw);
+  if (!decoded) {
+    d.type = PacketType::kMalformed;
+    return;
+  }
+  d.wpan = decoded->frame;
+  d.wpanFcsValid = decoded->fcsValid;
+  const Bytes& payload = d.wpan->payload;
+
+  if (d.wpan->type == WpanFrameType::kAck) {
+    d.type = PacketType::kWpanAck;
+    return;
+  }
+  if (d.wpan->type == WpanFrameType::kBeacon) {
+    d.type = PacketType::kWpanBeacon;
+    return;
+  }
+  if (payload.empty()) {
+    d.type = PacketType::kUnknown;
+    return;
+  }
+
+  const std::uint8_t dispatch = payload[0];
+  const BytesView inner = BytesView(payload).subspan(1);
+  if (dispatch == kDispatchTinyosAm) {
+    if (inner.empty()) {
+      d.type = PacketType::kMalformed;
+      return;
+    }
+    const std::uint8_t amId = inner[0];
+    const BytesView amPayload = inner.subspan(1);
+    if (amId == kAmCtpData) {
+      d.ctpData = decodeCtpData(amPayload);
+      if (d.ctpData) {
+        d.appPayload = d.ctpData->payload;
+        d.type = PacketType::kCtpData;
+      } else {
+        d.type = PacketType::kMalformed;
+      }
+    } else if (amId == kAmCtpRouting) {
+      d.ctpBeacon = decodeCtpBeacon(amPayload);
+      d.type = d.ctpBeacon ? PacketType::kCtpRouting : PacketType::kMalformed;
+    } else {
+      d.appPayload.assign(amPayload.begin(), amPayload.end());
+      d.type = PacketType::kUnknown;
+    }
+  } else if (dispatch == kDispatchZigbeeNwk) {
+    d.zigbee = decodeZigbeeNwk(BytesView(payload));
+    if (!d.zigbee) {
+      d.type = PacketType::kMalformed;
+      return;
+    }
+    d.appPayload = d.zigbee->payload;
+    d.type = d.zigbee->type == ZigbeeFrameType::kCommand
+                 ? PacketType::kZigbeeRouting
+                 : PacketType::kZigbeeData;
+  } else if (dispatch == kDispatchIpv6Uncompressed) {
+    auto ip = decodeIpv6(inner);
+    if (!ip) {
+      d.type = PacketType::kMalformed;
+      return;
+    }
+    dissectIpv6Payload(d, *ip);
+  } else {
+    d.appPayload = payload;
+    d.type = PacketType::kUnknown;
+  }
+}
+
+void dissectWifi(Dissection& d, BytesView raw) {
+  auto decoded = decodeWifi(raw);
+  if (!decoded) {
+    d.type = PacketType::kMalformed;
+    return;
+  }
+  d.wifi = decoded->frame;
+  d.wifiFcsValid = decoded->fcsValid;
+  switch (d.wifi->kind) {
+    case WifiFrameKind::kBeacon:
+      d.type = PacketType::kWifiBeacon;
+      return;
+    case WifiFrameKind::kProbeRequest:
+      d.type = PacketType::kWifiProbe;
+      return;
+    case WifiFrameKind::kDeauth:
+      d.type = PacketType::kWifiDeauth;
+      return;
+    case WifiFrameKind::kData:
+      break;
+  }
+  auto llc = llcSnapUnwrap(BytesView(d.wifi->body));
+  if (!llc) {
+    d.type = PacketType::kUnknown;
+    return;
+  }
+  if (llc->ethertype == kEthertypeIpv4) {
+    auto ip = decodeIpv4(llc->payload);
+    if (!ip) {
+      d.type = PacketType::kMalformed;
+      return;
+    }
+    dissectIpv4Payload(d, *ip);
+  } else if (llc->ethertype == kEthertypeIpv6) {
+    auto ip = decodeIpv6(llc->payload);
+    if (!ip) {
+      d.type = PacketType::kMalformed;
+      return;
+    }
+    dissectIpv6Payload(d, *ip);
+  } else {
+    d.type = PacketType::kUnknown;
+  }
+}
+
+void dissectBle(Dissection& d, BytesView raw) {
+  d.ble = decodeBleAdv(raw);
+  if (!d.ble) {
+    d.type = PacketType::kMalformed;
+    return;
+  }
+  d.appPayload = d.ble->advData;
+  d.type = (d.ble->type == BlePduType::kScanReq ||
+            d.ble->type == BlePduType::kScanRsp)
+               ? PacketType::kBleScan
+               : PacketType::kBleAdv;
+}
+
+}  // namespace
+
+Dissection dissect(const CapturedPacket& pkt) {
+  Dissection d;
+  d.medium = pkt.medium;
+  switch (pkt.medium) {
+    case Medium::kIeee802154:
+      dissectWpan(d, BytesView(pkt.raw));
+      break;
+    case Medium::kWifi:
+      dissectWifi(d, BytesView(pkt.raw));
+      break;
+    case Medium::kBluetooth:
+      dissectBle(d, BytesView(pkt.raw));
+      break;
+  }
+  return d;
+}
+
+}  // namespace kalis::net

@@ -1,0 +1,135 @@
+// The capture unit consumed by every IDS in this repository, and the
+// dissector that parses it into protocol layers.
+//
+// Kalis's Communication System (paper §IV-B1) overhears traffic on all
+// supported interfaces; a CapturedPacket is exactly what such promiscuous
+// capture yields: the medium, the raw frame bytes, and receive metadata
+// (virtual timestamp, RSSI, channel). Detection modules never see anything
+// the radio could not have seen.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/addr.hpp"
+#include "net/ble.hpp"
+#include "net/ctp.hpp"
+#include "net/ieee80211.hpp"
+#include "net/ieee802154.hpp"
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+#include "net/transport.hpp"
+#include "net/zigbee.hpp"
+#include "util/bytes.hpp"
+#include "util/types.hpp"
+
+namespace kalis::net {
+
+enum class Medium : std::uint8_t { kIeee802154, kWifi, kBluetooth };
+
+const char* mediumName(Medium m);
+
+/// Receive-side metadata attached by the capturing radio.
+struct RxMeta {
+  SimTime timestamp = 0;
+  double rssiDbm = -100.0;
+  int channel = 0;
+  NodeId capturedBy = kInvalidNode;   ///< which sniffer interface saw it
+  std::uint64_t captureSeq = 0;       ///< monotone per-sniffer capture index
+};
+
+struct CapturedPacket {
+  Medium medium = Medium::kWifi;
+  Bytes raw;
+  RxMeta meta;
+};
+
+/// Classification used by the Traffic Statistics module; names below match
+/// the knowgget labels from the paper ("TrafficFrequency.TCPSYN", ...).
+enum class PacketType : std::uint8_t {
+  kUnknown = 0,
+  kMalformed,
+  // 802.15.4 family
+  kWpanAck,
+  kWpanBeacon,
+  kCtpData,
+  kCtpRouting,
+  kZigbeeData,
+  kZigbeeRouting,
+  kRplDio,
+  kRplDao,
+  kIcmpv6EchoReq,
+  kIcmpv6EchoRep,
+  kSixlowpanOther,
+  // WiFi family
+  kWifiBeacon,
+  kWifiProbe,
+  kWifiDeauth,
+  kTcpSyn,
+  kTcpSynAck,
+  kTcpAck,
+  kTcpRst,
+  kTcpFin,
+  kTcpData,
+  kUdp,
+  kIcmpEchoReq,
+  kIcmpEchoRep,
+  kIcmpOther,
+  kIpOther,
+  // Bluetooth
+  kBleAdv,
+  kBleScan,
+};
+
+const char* packetTypeName(PacketType t);
+inline constexpr std::size_t kNumPacketTypes =
+    static_cast<std::size_t>(PacketType::kBleScan) + 1;
+
+/// Fully parsed view of a captured packet. Layers that did not parse are
+/// empty optionals; `type` is always set (possibly kMalformed/kUnknown).
+struct Dissection {
+  Medium medium = Medium::kWifi;
+  PacketType type = PacketType::kUnknown;
+
+  // 802.15.4 stack
+  std::optional<Ieee802154Frame> wpan;
+  bool wpanFcsValid = false;
+  std::optional<CtpData> ctpData;
+  std::optional<CtpRoutingBeacon> ctpBeacon;
+  std::optional<ZigbeeNwkFrame> zigbee;
+  std::optional<Ipv6Header> ipv6;
+  std::optional<Icmpv6Message> icmpv6;
+  std::optional<RplDio> rplDio;
+  std::optional<RplDao> rplDao;
+
+  // WiFi stack
+  std::optional<WifiFrame> wifi;
+  bool wifiFcsValid = false;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpSegment> tcp;
+  std::optional<UdpDatagram> udp;
+  std::optional<IcmpMessage> icmp;
+
+  // Bluetooth
+  std::optional<BleAdvPdu> ble;
+
+  /// Innermost application payload (possibly empty).
+  Bytes appPayload;
+
+  /// Entity identifier of the link-layer sender, as used in knowgget
+  /// "entity" fields ("0x0003", "aa:bb:cc:dd:ee:ff").
+  std::string linkSource() const;
+  /// Entity identifier of the link-layer destination.
+  std::string linkDest() const;
+  /// Network-layer source if an IP layer parsed ("10.0.0.7", "fe80::...").
+  std::optional<std::string> networkSource() const;
+  std::optional<std::string> networkDest() const;
+  bool isBroadcastDest() const;
+};
+
+/// Parses every layer it can from the raw bytes. Never throws; garbage
+/// input yields type = kMalformed / kUnknown with layers unset.
+Dissection dissect(const CapturedPacket& pkt);
+
+}  // namespace kalis::net

@@ -1,0 +1,134 @@
+#include "net/transport.hpp"
+
+#include "util/checksum.hpp"
+
+namespace kalis::net {
+
+std::uint8_t TcpFlags::encode() const {
+  std::uint8_t bits = 0;
+  if (fin) bits |= 0x01;
+  if (syn) bits |= 0x02;
+  if (rst) bits |= 0x04;
+  if (psh) bits |= 0x08;
+  if (ack) bits |= 0x10;
+  return bits;
+}
+
+TcpFlags TcpFlags::decode(std::uint8_t bits) {
+  TcpFlags f;
+  f.fin = bits & 0x01;
+  f.syn = bits & 0x02;
+  f.rst = bits & 0x04;
+  f.psh = bits & 0x08;
+  f.ack = bits & 0x10;
+  return f;
+}
+
+Bytes TcpSegment::encode(Ipv4Addr src, Ipv4Addr dst) const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u16be(srcPort);
+  w.u16be(dstPort);
+  w.u32be(seq);
+  w.u32be(ackNo);
+  w.u8(0x50);  // data offset 5 words
+  w.u8(flags.encode());
+  w.u16be(window);
+  const std::size_t checksumOffset = out.size();
+  w.u16be(0);
+  w.u16be(0);  // urgent pointer
+  w.raw(payload);
+  const Bytes pseudo = ipv4PseudoHeader(src, dst, IpProto::kTcp,
+                                        static_cast<std::uint16_t>(out.size()));
+  w.patchU16be(checksumOffset, internetChecksum2(pseudo, BytesView(out)));
+  return out;
+}
+
+std::optional<TcpDecoded> decodeTcp(BytesView raw, Ipv4Addr src, Ipv4Addr dst) {
+  if (raw.size() < 20) return std::nullopt;
+  ByteReader r(raw);
+  TcpDecoded d;
+  d.segment.srcPort = *r.u16be();
+  d.segment.dstPort = *r.u16be();
+  d.segment.seq = *r.u32be();
+  d.segment.ackNo = *r.u32be();
+  auto offsetByte = *r.u8();
+  const std::size_t headerLen = (offsetByte >> 4) * 4u;
+  if (headerLen < 20 || headerLen > raw.size()) return std::nullopt;
+  d.segment.flags = TcpFlags::decode(*r.u8());
+  d.segment.window = *r.u16be();
+  r.u16be();  // checksum
+  r.u16be();  // urgent
+  r.skip(headerLen - 20);
+  auto payload = r.rest();
+  d.segment.payload.assign(payload.begin(), payload.end());
+  const Bytes pseudo = ipv4PseudoHeader(src, dst, IpProto::kTcp,
+                                        static_cast<std::uint16_t>(raw.size()));
+  d.checksumValid = internetChecksum2(pseudo, raw) == 0;
+  return d;
+}
+
+Bytes UdpDatagram::encode(Ipv4Addr src, Ipv4Addr dst) const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u16be(srcPort);
+  w.u16be(dstPort);
+  w.u16be(static_cast<std::uint16_t>(8 + payload.size()));
+  const std::size_t checksumOffset = out.size();
+  w.u16be(0);
+  w.raw(payload);
+  const Bytes pseudo = ipv4PseudoHeader(src, dst, IpProto::kUdp,
+                                        static_cast<std::uint16_t>(out.size()));
+  std::uint16_t csum = internetChecksum2(pseudo, BytesView(out));
+  if (csum == 0) csum = 0xffff;  // RFC 768: transmitted 0 means "no checksum"
+  w.patchU16be(checksumOffset, csum);
+  return out;
+}
+
+std::optional<UdpDecoded> decodeUdp(BytesView raw, Ipv4Addr src, Ipv4Addr dst) {
+  if (raw.size() < 8) return std::nullopt;
+  ByteReader r(raw);
+  UdpDecoded d;
+  d.datagram.srcPort = *r.u16be();
+  d.datagram.dstPort = *r.u16be();
+  auto len = *r.u16be();
+  r.u16be();  // checksum
+  if (len < 8 || len > raw.size()) return std::nullopt;
+  auto payload = raw.subspan(8, len - 8);
+  d.datagram.payload.assign(payload.begin(), payload.end());
+  const Bytes pseudo =
+      ipv4PseudoHeader(src, dst, IpProto::kUdp, static_cast<std::uint16_t>(len));
+  d.checksumValid = internetChecksum2(pseudo, raw.subspan(0, len)) == 0;
+  return d;
+}
+
+Bytes IcmpMessage::encode() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(code);
+  const std::size_t checksumOffset = out.size();
+  w.u16be(0);
+  w.u16be(identifier);
+  w.u16be(sequence);
+  w.raw(payload);
+  w.patchU16be(checksumOffset, internetChecksum(BytesView(out)));
+  return out;
+}
+
+std::optional<IcmpDecoded> decodeIcmp(BytesView raw) {
+  if (raw.size() < 8) return std::nullopt;
+  ByteReader r(raw);
+  IcmpDecoded d;
+  d.message.type = static_cast<IcmpType>(*r.u8());
+  d.message.code = *r.u8();
+  r.u16be();  // checksum
+  d.message.identifier = *r.u16be();
+  d.message.sequence = *r.u16be();
+  auto payload = r.rest();
+  d.message.payload.assign(payload.begin(), payload.end());
+  d.checksumValid = internetChecksum(raw) == 0;
+  return d;
+}
+
+}  // namespace kalis::net

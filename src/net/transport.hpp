@@ -1,0 +1,95 @@
+// TCP, UDP and ICMP segments.
+//
+// TCP carries only the 20-byte base header (no options) — enough for the
+// SYN-flood detection path, which keys off flags and the 4-tuple. Checksums
+// are computed over the appropriate pseudo-header.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "net/ipv4.hpp"
+#include "util/bytes.hpp"
+
+namespace kalis::net {
+
+// --- TCP --------------------------------------------------------------------
+
+struct TcpFlags {
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+
+  std::uint8_t encode() const;
+  static TcpFlags decode(std::uint8_t bits);
+  bool isSynOnly() const { return syn && !ack && !fin && !rst; }
+  bool isSynAck() const { return syn && ack; }
+};
+
+struct TcpSegment {
+  std::uint16_t srcPort = 0;
+  std::uint16_t dstPort = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ackNo = 0;
+  TcpFlags flags;
+  std::uint16_t window = 65535;
+  Bytes payload;
+
+  /// Serializes with a checksum over the IPv4 pseudo-header.
+  Bytes encode(Ipv4Addr src, Ipv4Addr dst) const;
+};
+
+struct TcpDecoded {
+  TcpSegment segment;
+  bool checksumValid = false;
+};
+
+std::optional<TcpDecoded> decodeTcp(BytesView raw, Ipv4Addr src, Ipv4Addr dst);
+
+// --- UDP --------------------------------------------------------------------
+
+struct UdpDatagram {
+  std::uint16_t srcPort = 0;
+  std::uint16_t dstPort = 0;
+  Bytes payload;
+
+  Bytes encode(Ipv4Addr src, Ipv4Addr dst) const;
+};
+
+struct UdpDecoded {
+  UdpDatagram datagram;
+  bool checksumValid = false;
+};
+
+std::optional<UdpDecoded> decodeUdp(BytesView raw, Ipv4Addr src, Ipv4Addr dst);
+
+// --- ICMP (v4) ---------------------------------------------------------------
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kEchoRequest = 8,
+  kTimeExceeded = 11,
+};
+
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+  Bytes payload;
+
+  Bytes encode() const;
+};
+
+struct IcmpDecoded {
+  IcmpMessage message;
+  bool checksumValid = false;
+};
+
+std::optional<IcmpDecoded> decodeIcmp(BytesView raw);
+
+}  // namespace kalis::net

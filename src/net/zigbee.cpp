@@ -1,0 +1,54 @@
+#include "net/zigbee.hpp"
+
+#include "net/ieee802154.hpp"
+
+namespace kalis::net {
+
+namespace {
+constexpr std::uint16_t kTypeMask = 0x0003;
+constexpr std::uint16_t kSecurityBit = 0x0200;
+}  // namespace
+
+Bytes ZigbeeNwkFrame::encode() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(kDispatchZigbeeNwk);
+  std::uint16_t fc = static_cast<std::uint16_t>(type) & kTypeMask;
+  if (securityEnabled) fc |= kSecurityBit;
+  w.u16le(fc);
+  w.u16le(dst.value);
+  w.u16le(src.value);
+  w.u8(radius);
+  w.u8(seq);
+  w.raw(payload);
+  return out;
+}
+
+std::optional<ZigbeeCommand> ZigbeeNwkFrame::command() const {
+  if (type != ZigbeeFrameType::kCommand || payload.empty()) return std::nullopt;
+  return static_cast<ZigbeeCommand>(payload[0]);
+}
+
+std::optional<ZigbeeNwkFrame> decodeZigbeeNwk(BytesView raw) {
+  ByteReader r(raw);
+  auto dispatch = r.u8();
+  if (!dispatch || *dispatch != kDispatchZigbeeNwk) return std::nullopt;
+  auto fc = r.u16le();
+  auto dst = r.u16le();
+  auto src = r.u16le();
+  auto radius = r.u8();
+  auto seq = r.u8();
+  if (!fc || !dst || !src || !radius || !seq) return std::nullopt;
+  ZigbeeNwkFrame f;
+  f.type = static_cast<ZigbeeFrameType>(*fc & kTypeMask);
+  f.securityEnabled = (*fc & kSecurityBit) != 0;
+  f.dst = Mac16{*dst};
+  f.src = Mac16{*src};
+  f.radius = *radius;
+  f.seq = *seq;
+  auto rest = r.rest();
+  f.payload.assign(rest.begin(), rest.end());
+  return f;
+}
+
+}  // namespace kalis::net

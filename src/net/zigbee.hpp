@@ -1,0 +1,53 @@
+// ZigBee network-layer (NWK) frames, simplified to the fields the IDS and
+// the routing simulation use.
+//
+// Layout after the 0x48 dispatch byte:
+//   frameControl(2 LE) | dst16(2 LE) | src16(2 LE) | radius(1) | seq(1) | payload
+// frameControl bits 0-1: 0 = data, 1 = NWK command. For command frames the
+// first payload byte is the command id (route request / route reply / leave).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace kalis::net {
+
+enum class ZigbeeFrameType : std::uint8_t { kData = 0, kCommand = 1 };
+
+enum class ZigbeeCommand : std::uint8_t {
+  kRouteRequest = 0x01,
+  kRouteReply = 0x02,
+  kNetworkStatus = 0x03,
+  kLeave = 0x04,
+  kLinkStatus = 0x08,
+};
+
+struct ZigbeeNwkFrame {
+  ZigbeeFrameType type = ZigbeeFrameType::kData;
+  bool securityEnabled = false;  ///< NWK security bit (frameControl bit 9)
+  Mac16 dst{Mac16::kBroadcast};
+  Mac16 src{0};
+  std::uint8_t radius = 1;  ///< remaining hop budget; >1 implies routing
+  std::uint8_t seq = 0;
+  Bytes payload;
+
+  /// Serializes including the 0x48 dispatch byte.
+  Bytes encode() const;
+
+  /// For command frames: the command id, if present.
+  std::optional<ZigbeeCommand> command() const;
+};
+
+/// Expects `raw` to begin with the 0x48 dispatch byte.
+std::optional<ZigbeeNwkFrame> decodeZigbeeNwk(BytesView raw);
+
+// Application-profile payload tags used by the simulated hub/sub traffic
+// (first byte of a NWK data payload). Shared between the traffic agents and
+// the device-classification heuristics.
+inline constexpr std::uint8_t kZigbeeAppCommand = 0x01;
+inline constexpr std::uint8_t kZigbeeAppReport = 0x02;
+
+}  // namespace kalis::net

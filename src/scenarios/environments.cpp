@@ -1,0 +1,250 @@
+#include "scenarios/environments.hpp"
+
+#include <cmath>
+
+#include "trace/devices.hpp"
+
+namespace kalis::scenarios {
+
+sim::RadioConfig moteRadio() {
+  // Link budget 80 dB; with the tuned propagation below that is ~18 m of
+  // range, so 13 m neighbors connect and 26 m non-neighbors do not.
+  return sim::RadioConfig{-5.0, -85.0, 0};
+}
+
+sim::RadioConfig idsWideRadio() {
+  // The IDS box carries a high-gain capture radio: it must overhear the
+  // whole monitored portion, including the far base station.
+  return sim::RadioConfig{0.0, -101.0, 0};
+}
+
+void tuneWpanPropagation(sim::World& world) {
+  sim::PropagationModel& model =
+      world.propagation(net::Medium::kIeee802154);
+  model.pathLossExponent = 3.2;
+  model.shadowingSigmaDb = 1.5;
+  model.fadingSigmaDb = 0.8;
+}
+
+HomeWifi buildHomeWifi(sim::World& world, sim::InternetCloud& cloud,
+                       std::uint64_t seed) {
+  HomeWifi home;
+  home.cloudIp = cloud.addHost(
+      "cloud-service", sim::makeEchoService(cloud, 500, /*encrypted=*/true,
+                                            /*seed=*/seed ^ 0xc10fd));
+
+  home.router = world.addNode("router", sim::NodeRole::kRouter, {15, 15});
+  world.enableRadio(home.router, net::Medium::kWifi);
+  const net::Mac48 bssid = world.mac48Of(home.router);
+
+  auto routerAgent = std::make_unique<sim::RouterAgent>(
+      sim::RouterAgent::Config{}, cloud);
+  home.routerAgent = routerAgent.get();
+  world.setBehavior(home.router, std::move(routerAgent));
+  cloud.setRouter(home.routerAgent, &world, home.router);
+
+  auto addStation = [&](const trace::WifiDeviceSpec& spec,
+                        sim::Vec2 pos) -> std::pair<NodeId, sim::IpHostAgent*> {
+    const NodeId id = world.addNode(spec.name, sim::NodeRole::kHub, pos);
+    world.enableRadio(id, net::Medium::kWifi);
+    auto agent = std::make_unique<sim::IpHostAgent>(spec.config);
+    sim::IpHostAgent* raw = agent.get();
+    world.setBehavior(id, std::move(agent));
+    return {id, raw};
+  };
+
+  auto thermostat = addStation(trace::makeThermostat(home.cloudIp, bssid), {12, 14});
+  home.thermostat = thermostat.first;
+  home.thermostatAgent = thermostat.second;
+  auto bulb = addStation(trace::makeSmartBulb(home.cloudIp, bssid), {18, 12});
+  home.bulb = bulb.first;
+  auto camera = addStation(trace::makeCamera(home.cloudIp, bssid), {10, 18});
+  home.camera = camera.first;
+  home.cameraAgent = camera.second;
+  auto dash = addStation(trace::makeDashButton(home.cloudIp, bssid), {20, 18});
+  home.dashButton = dash.first;
+
+  home.smartLock = world.addNode("smart-lock", sim::NodeRole::kSub, {16, 10});
+  world.enableRadio(home.smartLock, net::Medium::kBluetooth);
+  world.setBehavior(home.smartLock, std::make_unique<sim::BleDeviceAgent>(
+                                        trace::makeSmartLockBle()));
+
+  home.ids = world.addNode("kalis-box", sim::NodeRole::kIdsBox, {14, 14});
+  // High-gain capture radios on the IDS box (it hears the whole home).
+  world.enableRadio(home.ids, net::Medium::kWifi,
+                    sim::RadioConfig{18.0, -95.0, 0});
+  world.enableRadio(home.ids, net::Medium::kBluetooth,
+                    sim::RadioConfig{0.0, -95.0, 0});
+
+  (void)seed;
+  return home;
+}
+
+Wsn buildWsn(sim::World& world, std::size_t moteCount, Duration dataInterval) {
+  tuneWpanPropagation(world);
+  Wsn wsn;
+
+  wsn.root = world.addNode("base-station", sim::NodeRole::kHub, {0, 0});
+  world.enableRadio(wsn.root, net::Medium::kIeee802154, moteRadio());
+  sim::CtpAgent::Config rootConfig;
+  rootConfig.isRoot = true;
+  rootConfig.sendData = false;
+  rootConfig.dataInterval = dataInterval;
+  auto rootAgent = std::make_unique<sim::CtpAgent>(rootConfig);
+  wsn.rootAgent = rootAgent.get();
+  world.setBehavior(wsn.root, std::move(rootAgent));
+
+  for (std::size_t i = 0; i < moteCount; ++i) {
+    const double x = 13.0 * static_cast<double>(i + 1);
+    const NodeId id = world.addNode("mote" + std::to_string(i + 2),
+                                    sim::NodeRole::kSub, {x, 0});
+    world.enableRadio(id, net::Medium::kIeee802154, moteRadio());
+    sim::CtpAgent::Config config;
+    config.dataInterval = dataInterval;
+    auto agent = std::make_unique<sim::CtpAgent>(config);
+    wsn.moteAgents.push_back(agent.get());
+    world.setBehavior(id, std::move(agent));
+    wsn.motes.push_back(id);
+  }
+
+  // "The Kalis node is placed near the middle portion of the WSN, able to
+  // overhear intermediate hops" (§VI-A).
+  const double midX = 13.0 * static_cast<double>(moteCount + 1) / 2.0;
+  wsn.ids = world.addNode("kalis-box", sim::NodeRole::kIdsBox, {midX, 6});
+  world.enableRadio(wsn.ids, net::Medium::kIeee802154, idsWideRadio());
+  return wsn;
+}
+
+ZigbeeStar buildZigbeeStar(sim::World& world, std::size_t subCount,
+                           Duration reportInterval) {
+  tuneWpanPropagation(world);
+  ZigbeeStar star;
+  star.coordinator = world.addNode("zb-hub", sim::NodeRole::kHub, {15, 15});
+  world.enableRadio(star.coordinator, net::Medium::kIeee802154, moteRadio());
+
+  sim::ZigbeeAgent::Config hubConfig;
+  hubConfig.isCoordinator = true;
+  hubConfig.commandInterval = seconds(4);
+  const double radius = 8.0;
+  for (std::size_t i = 0; i < subCount; ++i) {
+    const double angle = 2.0 * 3.14159265 * static_cast<double>(i) /
+                         static_cast<double>(subCount);
+    const sim::Vec2 pos{15.0 + radius * std::cos(angle),
+                        15.0 + radius * std::sin(angle)};
+    const NodeId id = world.addNode("zb-sub" + std::to_string(i + 1),
+                                    sim::NodeRole::kSub, pos);
+    world.enableRadio(id, net::Medium::kIeee802154, moteRadio());
+    sim::ZigbeeAgent::Config subConfig;
+    subConfig.reportInterval = reportInterval;
+    auto agent = std::make_unique<sim::ZigbeeAgent>(subConfig);
+    star.subAgents.push_back(agent.get());
+    world.setBehavior(id, std::move(agent));
+    star.subs.push_back(id);
+    hubConfig.subs.push_back(world.mac16Of(id));
+  }
+  auto hubAgent = std::make_unique<sim::ZigbeeAgent>(hubConfig);
+  star.coordinatorAgent = hubAgent.get();
+  world.setBehavior(star.coordinator, std::move(hubAgent));
+
+  star.ids = world.addNode("kalis-box", sim::NodeRole::kIdsBox, {15, 11});
+  world.enableRadio(star.ids, net::Medium::kIeee802154, idsWideRadio());
+  return star;
+}
+
+ZigbeeWormholeChain buildZigbeeWormholeChain(sim::World& world,
+                                             Duration commandInterval) {
+  tuneWpanPropagation(world);
+  ZigbeeWormholeChain chain;
+  chain.hub = world.addNode("zb-hub", sim::NodeRole::kHub, {0, 0});
+  chain.b1 = world.addNode("B1", sim::NodeRole::kSub, {12, 0});
+  chain.sub = world.addNode("zb-sub", sim::NodeRole::kSub, {26, 0});
+  chain.b2 = world.addNode("B2", sim::NodeRole::kSub, {26, 4});
+  for (NodeId id : {chain.hub, chain.b1, chain.sub, chain.b2}) {
+    world.enableRadio(id, net::Medium::kIeee802154, moteRadio());
+  }
+
+  sim::ZigbeeAgent::Config hubConfig;
+  hubConfig.isCoordinator = true;
+  hubConfig.commandInterval = commandInterval;
+  hubConfig.subs = {world.mac16Of(chain.sub)};
+  auto hubAgent = std::make_unique<sim::ZigbeeAgent>(hubConfig);
+  chain.hubAgent = hubAgent.get();
+  // Commands to the far sub route through B1.
+  chain.hubAgent->setNextHop(world.mac16Of(chain.sub), world.mac16Of(chain.b1));
+  world.setBehavior(chain.hub, std::move(hubAgent));
+
+  sim::ZigbeeAgent::Config relayConfig;
+  auto b1Agent = std::make_unique<sim::ZigbeeAgent>(relayConfig);
+  chain.b1Agent = b1Agent.get();
+  world.setBehavior(chain.b1, std::move(b1Agent));
+
+  sim::ZigbeeAgent::Config subConfig;
+  subConfig.autoReply = false;  // one-way command traffic for this scenario
+  world.setBehavior(chain.sub, std::make_unique<sim::ZigbeeAgent>(subConfig));
+
+  // The IDS boxes use the constrained mote radio on purpose: each must hear
+  // only its own network portion.
+  chain.ids1 = world.addNode("kalis-1", sim::NodeRole::kIdsBox, {6, 1});
+  chain.ids2 = world.addNode("kalis-2", sim::NodeRole::kIdsBox, {27, -2});
+  return chain;
+}
+
+SixlowpanTree buildSixlowpanTree(sim::World& world, Duration pingInterval) {
+  tuneWpanPropagation(world);
+  SixlowpanTree tree;
+
+  tree.root = world.addNode("6lo-root", sim::NodeRole::kHub, {0, 0});
+  world.enableRadio(tree.root, net::Medium::kIeee802154, moteRadio());
+  sim::SixlowpanAgent::Config rootConfig;
+  rootConfig.isRoot = true;
+  rootConfig.depth = 0;
+  auto rootAgent = std::make_unique<sim::SixlowpanAgent>(rootConfig);
+  tree.agents.push_back(rootAgent.get());
+  sim::SixlowpanAgent* root = rootAgent.get();
+  world.setBehavior(tree.root, std::move(rootAgent));
+
+  // Two depth-1 routers, two leaves per router.
+  const sim::Vec2 routerPos[2] = {{12, 5}, {12, -5}};
+  const sim::Vec2 leafPos[4] = {{24, 8}, {24, 2}, {24, -2}, {24, -8}};
+  std::vector<sim::SixlowpanAgent*> routers;
+  for (int r = 0; r < 2; ++r) {
+    const NodeId id = world.addNode("6lo-router" + std::to_string(r + 1),
+                                    sim::NodeRole::kSub, routerPos[r]);
+    world.enableRadio(id, net::Medium::kIeee802154, moteRadio());
+    sim::SixlowpanAgent::Config config;
+    config.depth = 1;
+    config.defaultRoute = world.mac16Of(tree.root);
+    config.pingInterval = pingInterval;
+    config.pingTarget = world.mac16Of(tree.root);
+    auto agent = std::make_unique<sim::SixlowpanAgent>(config);
+    routers.push_back(agent.get());
+    tree.agents.push_back(agent.get());
+    world.setBehavior(id, std::move(agent));
+    tree.routers.push_back(id);
+  }
+  for (int l = 0; l < 4; ++l) {
+    const int parent = l / 2;
+    const NodeId id = world.addNode("6lo-leaf" + std::to_string(l + 1),
+                                    sim::NodeRole::kSub, leafPos[l]);
+    world.enableRadio(id, net::Medium::kIeee802154, moteRadio());
+    sim::SixlowpanAgent::Config config;
+    config.depth = 2;
+    config.defaultRoute = world.mac16Of(tree.routers[parent]);
+    config.pingInterval = pingInterval;
+    config.pingTarget = world.mac16Of(tree.root);
+    auto agent = std::make_unique<sim::SixlowpanAgent>(config);
+    tree.agents.push_back(agent.get());
+    world.setBehavior(id, std::move(agent));
+    tree.leaves.push_back(id);
+
+    // Downward routes: root -> router -> leaf.
+    root->setNextHop(world.mac16Of(id), world.mac16Of(tree.routers[parent]));
+    routers[parent]->setNextHop(world.mac16Of(id), world.mac16Of(id));
+  }
+
+  tree.ids = world.addNode("kalis-box", sim::NodeRole::kIdsBox, {12, 0});
+  world.enableRadio(tree.ids, net::Medium::kIeee802154, idsWideRadio());
+  return tree;
+}
+
+}  // namespace kalis::scenarios

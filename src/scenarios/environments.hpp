@@ -1,0 +1,98 @@
+// Reusable simulated environments mirroring the paper's testbed (§VI-A):
+// a WiFi smart home behind a router, a 6-mote TelosB/CTP WSN, ZigBee
+// hub-and-subs deployments, and a 6LoWPAN/RPL tree.
+#pragma once
+
+#include <vector>
+
+#include "sim/ble_device.hpp"
+#include "sim/ctp_agent.hpp"
+#include "sim/ip_host.hpp"
+#include "sim/sixlowpan_agent.hpp"
+#include "sim/world.hpp"
+#include "sim/zigbee_agent.hpp"
+
+namespace kalis::scenarios {
+
+/// WiFi home: router/AP, cloud behind it, the paper's commodity devices as
+/// stations, and a reserved IDS node spot. Single-hop (one BSS).
+struct HomeWifi {
+  NodeId router = kInvalidNode;
+  NodeId thermostat = kInvalidNode;
+  NodeId bulb = kInvalidNode;
+  NodeId camera = kInvalidNode;
+  NodeId dashButton = kInvalidNode;
+  NodeId smartLock = kInvalidNode;  ///< BLE
+  NodeId ids = kInvalidNode;
+  net::Ipv4Addr cloudIp{};
+  sim::RouterAgent* routerAgent = nullptr;
+  sim::IpHostAgent* thermostatAgent = nullptr;
+  sim::IpHostAgent* cameraAgent = nullptr;
+};
+
+HomeWifi buildHomeWifi(sim::World& world, sim::InternetCloud& cloud,
+                       std::uint64_t seed);
+
+/// The paper's WSN: a CTP base station plus motes in a line, spaced so the
+/// collection tree is genuinely multi-hop; the IDS sits near the middle,
+/// overhearing intermediate hops.
+struct Wsn {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> motes;  ///< motes[i] is i+1 hops from the root
+  NodeId ids = kInvalidNode;
+  sim::CtpAgent* rootAgent = nullptr;
+  std::vector<sim::CtpAgent*> moteAgents;
+};
+
+Wsn buildWsn(sim::World& world, std::size_t moteCount = 5,
+             Duration dataInterval = seconds(3));
+
+/// Single-hop ZigBee star: coordinator polling subs.
+struct ZigbeeStar {
+  NodeId coordinator = kInvalidNode;
+  std::vector<NodeId> subs;
+  NodeId ids = kInvalidNode;
+  sim::ZigbeeAgent* coordinatorAgent = nullptr;
+  std::vector<sim::ZigbeeAgent*> subAgents;
+};
+
+ZigbeeStar buildZigbeeStar(sim::World& world, std::size_t subCount = 4,
+                           Duration reportInterval = seconds(2));
+
+/// Two-portion ZigBee chain for the wormhole experiment (§VI-D):
+/// hub -- B1 -- sub, with B2 planted next to the sub, and one IDS spot per
+/// portion (radio ranges tuned so each IDS hears only its portion).
+struct ZigbeeWormholeChain {
+  NodeId hub = kInvalidNode;
+  NodeId b1 = kInvalidNode;   ///< compromised relay (drops + tunnels)
+  NodeId b2 = kInvalidNode;   ///< colluder (re-injects)
+  NodeId sub = kInvalidNode;
+  NodeId ids1 = kInvalidNode; ///< watches the hub/B1 portion
+  NodeId ids2 = kInvalidNode; ///< watches the sub/B2 portion
+  sim::ZigbeeAgent* hubAgent = nullptr;
+  sim::ZigbeeAgent* b1Agent = nullptr;
+};
+
+ZigbeeWormholeChain buildZigbeeWormholeChain(sim::World& world,
+                                             Duration commandInterval);
+
+/// 6LoWPAN/RPL tree: root + two one-hop routers + leaf nodes below them.
+struct SixlowpanTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> routers;  ///< depth 1
+  std::vector<NodeId> leaves;   ///< depth 2
+  NodeId ids = kInvalidNode;
+  std::vector<sim::SixlowpanAgent*> agents;  ///< root, routers..., leaves...
+};
+
+SixlowpanTree buildSixlowpanTree(sim::World& world,
+                                 Duration pingInterval = seconds(4));
+
+/// Radio profile used by WPAN scenarios so that the intended hop structure
+/// is physically enforced (motes reach ~18 m; the IDS hears everything
+/// unless given the constrained profile).
+sim::RadioConfig moteRadio();
+sim::RadioConfig idsWideRadio();
+void tuneWpanPropagation(sim::World& world);
+
+}  // namespace kalis::scenarios

@@ -1,0 +1,256 @@
+// §VI-C (reactivity), §VI-D (knowledge sharing / wormhole), and the Fig. 8
+// scenario roster.
+#include <memory>
+
+#include "attacks/forwarding_attacks.hpp"
+#include "kalis/countermeasures.hpp"
+#include "scenarios/environments.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace kalis::scenarios {
+
+namespace {
+
+/// One run of the diamond-WSN countermeasure experiment.
+/// mode: 0 = no response, 1 = Kalis-driven, 2 = traditional-IDS-driven.
+struct DiamondRun {
+  double deliveryRatio = 0.0;
+  std::vector<std::string> revoked;
+};
+
+DiamondRun runDiamond(std::uint64_t seed, int mode) {
+  sim::Simulator simulator(seed);
+  sim::World world(simulator);
+  tuneWpanPropagation(world);
+
+  // Diamond: root at the apex, two parallel relays, one leaf below both.
+  const NodeId root = world.addNode("base-station", sim::NodeRole::kHub, {0, 0});
+  const NodeId relayA = world.addNode("relayA", sim::NodeRole::kSub, {12, 5});
+  const NodeId relayB = world.addNode("relayB", sim::NodeRole::kSub, {12, -5});
+  const NodeId leaf = world.addNode("leaf", sim::NodeRole::kSub, {24, 0});
+  for (NodeId id : {root, relayA, relayB, leaf}) {
+    world.enableRadio(id, net::Medium::kIeee802154, moteRadio());
+  }
+
+  sim::CtpAgent::Config rootConfig;
+  rootConfig.isRoot = true;
+  rootConfig.sendData = false;
+  auto rootAgent = std::make_unique<sim::CtpAgent>(rootConfig);
+  sim::CtpAgent* rootRaw = rootAgent.get();
+  world.setBehavior(root, std::move(rootAgent));
+
+  // The attacker advertises a slightly sweeter route so the leaf prefers it.
+  sim::CtpAgent::Config attackerConfig;
+  attackerConfig.perHopEtx = 4;
+  auto attackerAgent = std::make_unique<sim::CtpAgent>(attackerConfig);
+  attackerAgent->setForwardPolicy(
+      std::make_shared<attacks::SelectiveForwardPolicy>(
+          1.0, ids::AttackType::kBlackhole, nullptr));
+  world.setBehavior(relayA, std::move(attackerAgent));
+
+  world.setBehavior(relayB,
+                    std::make_unique<sim::CtpAgent>(sim::CtpAgent::Config{}));
+  world.setBehavior(leaf,
+                    std::make_unique<sim::CtpAgent>(sim::CtpAgent::Config{}));
+
+  const NodeId ids = world.addNode("kalis-box", sim::NodeRole::kIdsBox, {12, 0});
+  world.enableRadio(ids, net::Medium::kIeee802154, idsWideRadio());
+
+  IdsHarness harness(
+      simulator,
+      IdsHarness::Options{mode == 2 ? SystemKind::kTraditionalIds
+                                    : SystemKind::kKalis,
+                          "K1",
+                          {},
+                          ""});
+  harness.attach(world, ids, {net::Medium::kIeee802154});
+
+  ids::CountermeasureEngine::Policy policy;
+  policy.revocationPeriod = seconds(600);
+  ids::CountermeasureEngine engine(world, policy);
+  if (mode != 0) {
+    harness.kalis()->setAlertSink(
+        [&engine](const ids::Alert& alert) { engine.onAlert(alert); });
+  }
+
+  world.start();
+  harness.start();
+
+  // Measure legitimate delivery (relayB + leaf origins) over the settled
+  // window [80 s, 170 s].
+  simulator.runUntil(seconds(80));
+  auto legitDelivered = [&] {
+    std::uint64_t n = 0;
+    for (NodeId origin : {relayB, leaf}) {
+      auto it = rootRaw->stats().deliveredByOrigin.find(
+          world.mac16Of(origin).value);
+      if (it != rootRaw->stats().deliveredByOrigin.end()) n += it->second;
+    }
+    return n;
+  };
+  const std::uint64_t before = legitDelivered();
+  simulator.runUntil(seconds(170));
+  const std::uint64_t delivered = legitDelivered() - before;
+  // Two legitimate origins, one data packet per 3 s each, over 90 s.
+  const double expected = 2.0 * 90.0 / 3.0;
+
+  DiamondRun run;
+  run.deliveryRatio = static_cast<double>(delivered) / expected;
+  if (run.deliveryRatio > 1.0) run.deliveryRatio = 1.0;
+  for (const auto& action : engine.actions()) {
+    if (action.executed) run.revoked.push_back(action.entity);
+  }
+  return run;
+}
+
+}  // namespace
+
+LiveCountermeasureResult runLiveCountermeasure(std::uint64_t seed) {
+  LiveCountermeasureResult result;
+  const DiamondRun none = runDiamond(seed, 0);
+  const DiamondRun kalis = runDiamond(seed, 1);
+  const DiamondRun trad = runDiamond(seed, 2);
+  result.deliveryNoResponse = none.deliveryRatio;
+  result.deliveryKalis = kalis.deliveryRatio;
+  result.deliveryTraditional = trad.deliveryRatio;
+  result.kalisRevoked = kalis.revoked;
+  result.tradRevoked = trad.revoked;
+  return result;
+}
+
+WormholeResult runWormhole(std::uint64_t seed, bool collaborative) {
+  sim::Simulator simulator(seed);
+  sim::World world(simulator);
+  ZigbeeWormholeChain chain =
+      buildZigbeeWormholeChain(world, /*commandInterval=*/milliseconds(1500));
+  metrics::GroundTruth truth;
+
+  attacks::WormholeRelayPolicy::Config policyConfig;
+  policyConfig.world = &world;
+  policyConfig.peer = chain.b2;
+  policyConfig.truth = &truth;
+  auto policy =
+      std::make_shared<attacks::WormholeRelayPolicy>(policyConfig);
+  chain.b1Agent->setRelayPolicy(policy);
+
+  // Two Kalis nodes with deliberately constrained radios: each hears only
+  // its own network portion (the premise of §VI-D).
+  for (NodeId ids : {chain.ids1, chain.ids2}) {
+    world.enableRadio(ids, net::Medium::kIeee802154, moteRadio());
+  }
+  IdsHarness k1(simulator,
+                IdsHarness::Options{SystemKind::kKalis, "K1", {}, ""});
+  IdsHarness k2(simulator,
+                IdsHarness::Options{SystemKind::kKalis, "K2", {}, ""});
+  k1.attach(world, chain.ids1, {net::Medium::kIeee802154});
+  k2.attach(world, chain.ids2, {net::Medium::kIeee802154});
+  if (collaborative) {
+    ids::KalisNode::discoverPeers(*k1.kalis(), *k2.kalis());
+  }
+  world.start();
+  k1.start();
+  k2.start();
+  const Duration simulated = seconds(120);
+  simulator.runUntil(simulated);
+
+  WormholeResult result;
+  std::vector<ids::Alert> merged = k1.alerts();
+  const auto k2Alerts = k2.alerts();
+  merged.insert(merged.end(), k2Alerts.begin(), k2Alerts.end());
+
+  result.combined = finishResult("Wormhole", k1, truth, simulated);
+  result.combined.alerts = merged;
+  result.combined.eval = metrics::evaluate(truth, merged);
+  result.combined.counter = metrics::assessCountermeasures(truth, merged);
+
+  bool sawWormhole = false;
+  bool sawBlackhole = false;
+  for (const ids::Alert& alert : merged) {
+    if (alert.type == ids::AttackType::kWormhole) sawWormhole = true;
+    if (alert.type == ids::AttackType::kBlackhole) sawBlackhole = true;
+  }
+  result.wormholeClassified = sawWormhole;
+  result.blackholeOnly = sawBlackhole && !sawWormhole;
+  result.collectiveExchanged = static_cast<std::size_t>(
+      k1.kalis()->collectiveSent() + k2.kalis()->collectiveSent());
+  return result;
+}
+
+ReactivityResult runReactivity(std::uint64_t seed) {
+  sim::Simulator simulator(seed);
+  sim::World world(simulator);
+  Wsn wsn = buildWsn(world, 5, seconds(3));
+  metrics::GroundTruth truth;
+
+  // One mote performs selective forwarding from the very first packets.
+  auto policy = std::make_shared<attacks::SelectiveForwardPolicy>(
+      0.5, ids::AttackType::kSelectiveForwarding, &truth, 50);
+  wsn.moteAgents[1]->setForwardPolicy(policy);
+
+  // "A configuration file that does not activate any detection modules by
+  // default and does not contain any a-priori knowgget" (§VI-C): the full
+  // library is loaded, but nothing is required until knowledge appears.
+  IdsHarness harness(simulator,
+                     IdsHarness::Options{SystemKind::kKalis, "K1", {}, ""});
+  harness.attach(world, wsn.ids, {net::Medium::kIeee802154});
+  world.start();
+  harness.start();
+
+  ReactivityResult result;
+  // Count detection modules active right after startup (before traffic).
+  for (const std::string& name :
+       harness.kalis()->modules().activeModuleNames()) {
+    const ids::Module* module = harness.kalis()->modules().find(name);
+    if (module->isDetection()) ++result.detectionModulesActiveAtStart;
+  }
+
+  // Poll for the moment the selective-forwarding module becomes required.
+  auto* kalisNode = harness.kalis();
+  auto poll = std::make_shared<std::function<void()>>();
+  auto* resultPtr = &result;
+  *poll = [&simulator, kalisNode, resultPtr, poll] {
+    if (resultPtr->activationTime == kSimTimeMax &&
+        kalisNode->modules().isActive("SelectiveForwardingModule")) {
+      resultPtr->activationTime = simulator.now();
+      return;  // found; stop polling
+    }
+    simulator.schedule(milliseconds(100), *poll);
+  };
+  simulator.schedule(milliseconds(100), *poll);
+
+  const Duration simulated = seconds(160);
+  simulator.runUntil(simulated);
+
+  for (const ids::Alert& alert : kalisNode->alerts()) {
+    if (alert.time < result.firstAlertTime) result.firstAlertTime = alert.time;
+  }
+  const auto eval = metrics::evaluate(truth, kalisNode->alerts());
+  result.detectionRate = eval.detectionRate();
+  result.truthSize = truth.size();
+  result.selectiveForwardingActivated = result.activationTime != kSimTimeMax;
+  return result;
+}
+
+const std::vector<std::string>& scenarioNames() {
+  static const std::vector<std::string> names = {
+      "ICMP Flood",  "Smurf", "SYN Flood", "Selective Forwarding",
+      "Blackhole",   "Replication", "Sybil", "Sinkhole",
+  };
+  return names;
+}
+
+std::vector<ScenarioResult> runAllScenarios(SystemKind system,
+                                            std::uint64_t seed) {
+  std::vector<ScenarioResult> results;
+  results.push_back(runIcmpFlood(system, seed));
+  results.push_back(runSmurf(system, seed));
+  results.push_back(runSynFlood(system, seed));
+  results.push_back(runSelectiveForwarding(system, seed));
+  results.push_back(runBlackhole(system, seed));
+  results.push_back(runReplication(system, seed));
+  results.push_back(runSybil(system, seed));
+  results.push_back(runSinkhole(system, seed));
+  return results;
+}
+
+}  // namespace kalis::scenarios

@@ -1,0 +1,31 @@
+#include "sim/ble_device.hpp"
+
+namespace kalis::sim {
+
+void BleDeviceAgent::start(NodeHandle& node) {
+  World& world = node.world();
+  const NodeId id = node.id();
+  world.sim().schedule(node.rng().nextBelow(config_.advInterval),
+                       [this, &world, id] {
+                         NodeHandle h = world.handle(id);
+                         advLoop(h);
+                       });
+}
+
+void BleDeviceAgent::advLoop(NodeHandle& node) {
+  net::BleAdvPdu adv;
+  adv.type = config_.pduType;
+  adv.advAddr = node.mac48();
+  adv.advData = config_.advData;
+  node.send(net::Medium::kBluetooth, adv.encode());
+  ++advsSent_;
+
+  World& world = node.world();
+  const NodeId id = node.id();
+  world.sim().schedule(config_.advInterval, [this, &world, id] {
+    NodeHandle h = world.handle(id);
+    advLoop(h);
+  });
+}
+
+}  // namespace kalis::sim

@@ -1,0 +1,31 @@
+// BLE peripheral behavior: periodic advertising, as smart locks and buttons
+// do. Kalis's Bluetooth coverage observes advertisement identity and rate.
+#pragma once
+
+#include "net/ble.hpp"
+#include "sim/world.hpp"
+
+namespace kalis::sim {
+
+class BleDeviceAgent : public Behavior {
+ public:
+  struct Config {
+    Duration advInterval = milliseconds(1000);
+    Bytes advData;                        ///< manufacturer-specific payload
+    net::BlePduType pduType = net::BlePduType::kAdvInd;
+  };
+
+  explicit BleDeviceAgent(Config config) : config_(std::move(config)) {}
+
+  std::uint64_t advsSent() const { return advsSent_; }
+
+  void start(NodeHandle& node) override;
+
+ private:
+  void advLoop(NodeHandle& node);
+
+  Config config_;
+  std::uint64_t advsSent_ = 0;
+};
+
+}  // namespace kalis::sim

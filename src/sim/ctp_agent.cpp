@@ -1,0 +1,154 @@
+#include "sim/ctp_agent.hpp"
+
+#include "util/log.hpp"
+
+namespace kalis::sim {
+
+void CtpAgent::start(NodeHandle& node) {
+  if (config_.isRoot) {
+    etx_ = 0;
+    parent_ = node.mac16();  // roots are their own parent
+  }
+  // Small deterministic desynchronisation so motes don't transmit in lockstep.
+  // NodeHandle is a short-lived value; lambdas capture (world, id) and build
+  // a fresh handle when they fire.
+  const Duration jitter = node.rng().nextBelow(milliseconds(500));
+  World& world = node.world();
+  const NodeId id = node.id();
+  world.sim().schedule(jitter, [this, &world, id] {
+    NodeHandle h = world.handle(id);
+    sendBeacon(h);
+  });
+  if (config_.sendData && !config_.isRoot) {
+    world.sim().schedule(jitter + config_.dataInterval / 2, [this, &world, id] {
+      NodeHandle h = world.handle(id);
+      sendData(h);
+    });
+  }
+}
+
+void CtpAgent::sendBeacon(NodeHandle& node) {
+  // Link-estimator eviction: a silent parent is presumed gone; drop the
+  // route so a healthier neighbor can be adopted from its next beacon.
+  if (!config_.isRoot && parent_ &&
+      node.now() > lastParentHeard_ + config_.parentTimeout) {
+    parent_.reset();
+    etx_ = 0xffff;
+  }
+  net::CtpRoutingBeacon beacon;
+  beacon.parent = parent_.value_or(net::Mac16{net::Mac16::kBroadcast});
+  beacon.etx = etx_;
+
+  net::Ieee802154Frame frame;
+  frame.type = net::WpanFrameType::kData;
+  frame.seq = linkSeq_++;
+  frame.panId = config_.panId;
+  frame.dst = net::Mac16{net::Mac16::kBroadcast};
+  frame.src = node.mac16();
+  frame.payload = net::wrapTinyosAm(net::kAmCtpRouting, BytesView(beacon.encode()));
+  node.send(net::Medium::kIeee802154, frame.encode());
+  ++stats_.beaconsSent;
+
+  World& world = node.world();
+  const NodeId id = node.id();
+  world.sim().schedule(config_.beaconInterval, [this, &world, id] {
+    NodeHandle h = world.handle(id);
+    sendBeacon(h);
+  });
+}
+
+void CtpAgent::sendData(NodeHandle& node) {
+  if (parent_ && !config_.isRoot) {
+    net::CtpData data;
+    data.thl = 0;
+    data.etx = etx_;
+    data.origin = node.mac16();
+    data.seqno = dataSeq_++;
+    data.collectId = config_.collectId;
+    // Synthetic sensor reading: 2x u16 (temperature decikelvin, light).
+    Bytes payload;
+    ByteWriter w(payload);
+    w.u16be(static_cast<std::uint16_t>(2950 + node.rng().nextBelow(100)));
+    w.u16be(static_cast<std::uint16_t>(node.rng().nextBelow(1024)));
+    data.payload = payload;
+    transmitCtpData(node, data, *parent_);
+    ++stats_.dataOriginated;
+  }
+  World& world = node.world();
+  const NodeId id = node.id();
+  world.sim().schedule(config_.dataInterval, [this, &world, id] {
+    NodeHandle h = world.handle(id);
+    sendData(h);
+  });
+}
+
+void CtpAgent::transmitCtpData(NodeHandle& node, const net::CtpData& data,
+                               net::Mac16 dst) {
+  net::Ieee802154Frame frame;
+  frame.type = net::WpanFrameType::kData;
+  frame.ackRequest = true;
+  frame.seq = linkSeq_++;
+  frame.panId = config_.panId;
+  frame.dst = dst;
+  frame.src = node.mac16();
+  frame.payload = net::wrapTinyosAm(net::kAmCtpData, BytesView(data.encode()));
+  node.send(net::Medium::kIeee802154, frame.encode());
+}
+
+void CtpAgent::onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
+                       const net::Dissection& dissection) {
+  (void)pkt;
+  if (dissection.ctpBeacon && dissection.wpan) {
+    // Parent selection: adopt a neighbor whose advertised route beats ours by
+    // more than the hysteresis margin. Never route through our own child.
+    const net::CtpRoutingBeacon& b = *dissection.ctpBeacon;
+    if (config_.isRoot) return;
+    if (b.etx == 0xffff) return;
+    if (b.parent == node.mac16()) return;
+    const std::uint32_t candidate = b.etx + config_.perHopEtx;
+    constexpr std::uint32_t kHysteresis = 5;
+    if (parent_ && *parent_ == dissection.wpan->src) {
+      lastParentHeard_ = node.now();
+    }
+    if (candidate + kHysteresis < etx_ ||
+        (parent_ && *parent_ == dissection.wpan->src)) {
+      if (candidate < 0xffff) {
+        parent_ = dissection.wpan->src;
+        etx_ = static_cast<std::uint16_t>(candidate);
+        lastParentHeard_ = node.now();
+      }
+    }
+    return;
+  }
+
+  if (dissection.ctpData && dissection.wpan &&
+      dissection.wpan->dst == node.mac16()) {
+    const net::CtpData& data = *dissection.ctpData;
+    if (config_.isRoot) {
+      ++stats_.dataDelivered;
+      ++stats_.deliveredByOrigin[data.origin.value];
+      return;
+    }
+    // Forwarding path.
+    if (policy_ && !policy_->shouldForward(node, data)) {
+      ++stats_.dataDropped;
+      return;
+    }
+    if (!parent_) {
+      ++stats_.dataDropped;
+      return;
+    }
+    net::CtpData fwd = data;
+    fwd.thl = static_cast<std::uint8_t>(data.thl + 1);
+    fwd.etx = etx_;
+    if (policy_) {
+      if (auto rewritten = policy_->rewritePayload(node, data)) {
+        fwd.payload = std::move(*rewritten);
+      }
+    }
+    transmitCtpData(node, fwd, *parent_);
+    ++stats_.dataForwarded;
+  }
+}
+
+}  // namespace kalis::sim

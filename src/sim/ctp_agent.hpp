@@ -1,0 +1,103 @@
+// Collection Tree Protocol agent: the behavior running on every simulated
+// TelosB mote, reproducing the paper's WSN (6 motes, a data message every
+// 3 seconds toward a base station, CTP routing).
+//
+// The agent implements the CTP essentials the IDS interacts with:
+//  - periodic routing beacons advertising (parent, ETX);
+//  - tree formation by minimum-ETX parent selection with hysteresis;
+//  - data origination with (origin, seqno) and per-hop THL increment;
+//  - forwarding to the current parent.
+//
+// Attacks hook in through ForwardPolicy: a selective-forwarding attacker
+// drops a fraction of forwarded packets, a blackhole drops all, a wormhole
+// tunnels them to a colluder instead.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "net/ctp.hpp"
+#include "net/ieee802154.hpp"
+#include "sim/world.hpp"
+
+namespace kalis::sim {
+
+class CtpAgent : public Behavior {
+ public:
+  struct Config {
+    bool isRoot = false;
+    Duration dataInterval = seconds(3);   ///< paper: every 3 s
+    Duration beaconInterval = seconds(2);
+    std::uint8_t collectId = 0x20;
+    std::uint16_t panId = 0x22;
+    bool sendData = true;                 ///< roots and pure relays set false
+    std::uint16_t perHopEtx = 10;         ///< cost added per hop
+    /// A parent not heard for this long is evicted (the link-estimator
+    /// behavior that lets the tree heal around dead or revoked nodes).
+    Duration parentTimeout = seconds(6);
+  };
+
+  /// Forwarding decision hook. The default forwards everything.
+  class ForwardPolicy {
+   public:
+    virtual ~ForwardPolicy() = default;
+    /// Return false to silently drop the packet instead of forwarding.
+    /// `node` allows active policies (e.g. wormhole tunneling) to act.
+    virtual bool shouldForward(NodeHandle& node, const net::CtpData& data) {
+      (void)node;
+      (void)data;
+      return true;
+    }
+    /// Return a replacement payload to tamper with the forwarded packet
+    /// (data-alteration attack); nullopt forwards faithfully.
+    virtual std::optional<Bytes> rewritePayload(NodeHandle& node,
+                                                const net::CtpData& data) {
+      (void)node;
+      (void)data;
+      return std::nullopt;
+    }
+  };
+
+  struct Stats {
+    std::uint64_t dataOriginated = 0;
+    std::uint64_t dataForwarded = 0;
+    std::uint64_t dataDropped = 0;     ///< dropped by policy
+    std::uint64_t beaconsSent = 0;
+    // Root only:
+    std::uint64_t dataDelivered = 0;
+    std::map<std::uint16_t, std::uint64_t> deliveredByOrigin;
+  };
+
+  explicit CtpAgent(Config config) : config_(config) {}
+
+  void setForwardPolicy(std::shared_ptr<ForwardPolicy> policy) {
+    policy_ = std::move(policy);
+  }
+
+  const Stats& stats() const { return stats_; }
+  std::optional<net::Mac16> parent() const { return parent_; }
+  std::uint16_t etx() const { return etx_; }
+
+  void start(NodeHandle& node) override;
+  void onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
+               const net::Dissection& dissection) override;
+
+ private:
+  void sendBeacon(NodeHandle& node);
+  void sendData(NodeHandle& node);
+  void transmitCtpData(NodeHandle& node, const net::CtpData& data,
+                       net::Mac16 dst);
+
+  Config config_;
+  std::shared_ptr<ForwardPolicy> policy_;
+  Stats stats_;
+  std::optional<net::Mac16> parent_;
+  std::uint16_t etx_ = 0xffff;  ///< route cost; 0xffff = no route
+  SimTime lastParentHeard_ = 0;
+  std::uint8_t dataSeq_ = 0;
+  std::uint8_t linkSeq_ = 0;
+};
+
+}  // namespace kalis::sim

@@ -1,0 +1,48 @@
+#include "sim/mobility.hpp"
+
+namespace kalis::sim {
+
+RandomWaypoint::RandomWaypoint(Vec2 start, Params params, Rng rng,
+                               SimTime startAt)
+    : params_(params), rng_(rng), legStart_(start), legEnd_(start) {
+  pickNextLeg(startAt);
+}
+
+void RandomWaypoint::pickNextLeg(SimTime from) {
+  legStart_ = legEnd_;
+  legStartTime_ = from;
+  legEnd_ = Vec2{rng_.nextDouble(params_.areaMin.x, params_.areaMax.x),
+                 rng_.nextDouble(params_.areaMin.y, params_.areaMax.y)};
+  const double speed = rng_.nextDouble(params_.minSpeedMps, params_.maxSpeedMps);
+  const double dist = distance(legStart_, legEnd_);
+  const Duration travel =
+      speed > 0.0 ? static_cast<Duration>(dist / speed * 1e6) : 0;
+  legEndTime_ = legStartTime_ + travel;
+  pauseUntil_ = legEndTime_ + params_.pause;
+}
+
+Vec2 RandomWaypoint::positionAt(SimTime t) {
+  while (t >= pauseUntil_) pickNextLeg(pauseUntil_);
+  if (t >= legEndTime_) return legEnd_;
+  if (t <= legStartTime_ || legEndTime_ == legStartTime_) return legStart_;
+  const double f = static_cast<double>(t - legStartTime_) /
+                   static_cast<double>(legEndTime_ - legStartTime_);
+  return legStart_ + (legEnd_ - legStart_) * f;
+}
+
+LinearPath::LinearPath(Vec2 from, Vec2 to, SimTime departAt, double speedMps)
+    : from_(from), to_(to), departAt_(departAt) {
+  const double dist = distance(from, to);
+  arriveAt_ = departAt +
+              (speedMps > 0.0 ? static_cast<Duration>(dist / speedMps * 1e6) : 0);
+}
+
+Vec2 LinearPath::positionAt(SimTime t) {
+  if (t <= departAt_) return from_;
+  if (t >= arriveAt_ || arriveAt_ == departAt_) return to_;
+  const double f = static_cast<double>(t - departAt_) /
+                   static_cast<double>(arriveAt_ - departAt_);
+  return from_ + (to_ - from_) * f;
+}
+
+}  // namespace kalis::sim

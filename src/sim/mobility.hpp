@@ -1,0 +1,77 @@
+// Node mobility models.
+//
+// The World samples each mobile node's model on a periodic tick; static
+// nodes have no model attached. The replication-on-mobile-network experiment
+// (§VI-B2) toggles nodes between StaticMobility and RandomWaypoint.
+#pragma once
+
+#include <memory>
+
+#include "sim/vec.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace kalis::sim {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  /// Returns the node position at virtual time t. Called with monotonically
+  /// non-decreasing t.
+  virtual Vec2 positionAt(SimTime t) = 0;
+};
+
+/// Never moves.
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec2 pos) : pos_(pos) {}
+  Vec2 positionAt(SimTime) override { return pos_; }
+
+ private:
+  Vec2 pos_;
+};
+
+/// Classic random-waypoint inside a rectangle: pick a waypoint, walk to it at
+/// a uniform speed, pause, repeat.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Params {
+    Vec2 areaMin{0.0, 0.0};
+    Vec2 areaMax{30.0, 30.0};
+    double minSpeedMps = 0.5;
+    double maxSpeedMps = 1.5;
+    Duration pause = seconds(2);
+  };
+
+  /// `startAt` delays the first leg: the node stays at `start` until then
+  /// (lets scenarios flip a static network to mobile mid-run without a
+  /// position teleport).
+  RandomWaypoint(Vec2 start, Params params, Rng rng, SimTime startAt = 0);
+  Vec2 positionAt(SimTime t) override;
+
+ private:
+  void pickNextLeg(SimTime from);
+
+  Params params_;
+  Rng rng_;
+  Vec2 legStart_;
+  Vec2 legEnd_;
+  SimTime legStartTime_ = 0;
+  SimTime legEndTime_ = 0;     ///< arrival at legEnd_
+  SimTime pauseUntil_ = 0;     ///< departure time of the next leg
+};
+
+/// Walks a straight line between two points, then stays.
+class LinearPath final : public MobilityModel {
+ public:
+  LinearPath(Vec2 from, Vec2 to, SimTime departAt, double speedMps);
+  Vec2 positionAt(SimTime t) override;
+
+ private:
+  Vec2 from_;
+  Vec2 to_;
+  SimTime departAt_;
+  SimTime arriveAt_;
+};
+
+}  // namespace kalis::sim

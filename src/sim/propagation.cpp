@@ -1,0 +1,41 @@
+#include "sim/propagation.hpp"
+
+#include <cmath>
+
+namespace kalis::sim {
+
+double PropagationModel::linkShadowDb(std::uint32_t tx, std::uint32_t rx) const {
+  // splitmix-style hash of the pair, mapped to N(0, sigma) via a coarse
+  // 12-draw central-limit sum. Deterministic across runs.
+  std::uint64_t x = (static_cast<std::uint64_t>(tx) << 32) | rx;
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    sum += static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+  return (sum - 6.0) * shadowingSigmaDb;  // CLT: sum of 12 U(0,1) ~ N(6, 1)
+}
+
+double PropagationModel::rssiDbm(double txPowerDbm, double distanceM,
+                                 std::uint32_t tx, std::uint32_t rx,
+                                 Rng& fadingRng) const {
+  const double d = distanceM < minDistanceM ? minDistanceM : distanceM;
+  const double pathLoss = referenceLossDb + 10.0 * pathLossExponent * std::log10(d);
+  const double fade = fadingRng.nextGaussian(0.0, fadingSigmaDb);
+  return txPowerDbm - pathLoss + linkShadowDb(tx, rx) + fade;
+}
+
+RadioDefaults defaultsForMedium(int medium) {
+  switch (medium) {
+    case 0: return {0.0, -90.0};    // 802.15.4: CC2420-class
+    case 1: return {18.0, -88.0};   // WiFi
+    case 2: return {0.0, -85.0};    // Bluetooth LE
+    default: return {0.0, -90.0};
+  }
+}
+
+}  // namespace kalis::sim

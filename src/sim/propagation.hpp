@@ -1,0 +1,43 @@
+// Radio propagation: log-distance path loss with deterministic per-link
+// shadowing and per-packet fading.
+//
+// RSSI(d) = txPower - (PL0 + 10 n log10(d/1m)) + shadow(link) + fade(packet)
+//
+// Per-link shadowing is derived from a hash of the (tx, rx) pair so the same
+// link always sees the same bias — this is what lets the Mobility Awareness
+// module distinguish "node moved" (RSSI trend changed) from ordinary fading,
+// and what gives replicas at different positions distinguishable fingerprints.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace kalis::sim {
+
+struct PropagationModel {
+  double referenceLossDb = 40.0;   ///< PL at 1 m
+  double pathLossExponent = 2.7;   ///< indoor-ish
+  double shadowingSigmaDb = 3.0;   ///< per-link static component
+  double fadingSigmaDb = 1.0;      ///< per-packet jitter
+  double minDistanceM = 0.5;       ///< clamp to avoid log(0)
+
+  /// Deterministic per-link shadowing in dB for an ordered (tx, rx) pair.
+  double linkShadowDb(std::uint32_t tx, std::uint32_t rx) const;
+
+  /// Full RSSI sample for one packet on one link.
+  double rssiDbm(double txPowerDbm, double distanceM, std::uint32_t tx,
+                 std::uint32_t rx, Rng& fadingRng) const;
+};
+
+/// Default radio parameters per medium, loosely matching CC2420 (802.15.4),
+/// consumer WiFi, and BLE class 2 radios.
+struct RadioDefaults {
+  double txPowerDbm;
+  double sensitivityDbm;
+};
+
+RadioDefaults defaultsForMedium(int medium);
+
+}  // namespace kalis::sim

@@ -1,0 +1,77 @@
+// Discrete-event scheduler with a virtual clock.
+//
+// Single-threaded and fully deterministic: ties in time are broken by
+// insertion order, and all randomness flows from the seed passed in.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace kalis::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules fn to run `delay` after the current time.
+  void schedule(Duration delay, std::function<void()> fn) {
+    at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules fn at an absolute virtual time (>= now).
+  void at(SimTime t, std::function<void()> fn) {
+    queue_.push(Event{t, nextSeq_++, std::move(fn)});
+  }
+
+  /// Runs the next pending event; returns false if the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  void runUntil(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) step();
+    if (t > now_) now_ = t;
+  }
+
+  /// Drains the queue (bounded by hardStop to guard against periodic
+  /// re-scheduling loops).
+  void runAll(SimTime hardStop = kSimTimeMax) {
+    while (!queue_.empty() && queue_.top().time <= hardStop) step();
+  }
+
+  std::size_t pendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace kalis::sim

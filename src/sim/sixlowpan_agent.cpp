@@ -1,0 +1,152 @@
+#include "sim/sixlowpan_agent.hpp"
+
+namespace kalis::sim {
+
+void SixlowpanAgent::start(NodeHandle& node) {
+  World& world = node.world();
+  const NodeId id = node.id();
+  const Duration jitter = node.rng().nextBelow(milliseconds(400));
+  world.sim().schedule(jitter, [this, &world, id] {
+    NodeHandle h = world.handle(id);
+    dioLoop(h);
+  });
+  if (config_.pingInterval > 0 && !config_.isRoot) {
+    world.sim().schedule(jitter + config_.pingInterval / 2, [this, &world, id] {
+      NodeHandle h = world.handle(id);
+      pingLoop(h);
+    });
+  }
+}
+
+net::Mac16 SixlowpanAgent::routeTo(net::Mac16 dst) const {
+  auto it = nextHop_.find(dst.value);
+  if (it != nextHop_.end()) return it->second;
+  return config_.isRoot ? dst : config_.defaultRoute;
+}
+
+void SixlowpanAgent::transmit(NodeHandle& node, net::Mac16 linkDst,
+                              BytesView ipv6Packet) {
+  net::Ieee802154Frame frame;
+  frame.type = net::WpanFrameType::kData;
+  frame.ackRequest = !linkDst.isBroadcast();
+  frame.seq = linkSeq_++;
+  frame.panId = config_.panId;
+  frame.dst = linkDst;
+  frame.src = node.mac16();
+  Bytes payload;
+  payload.reserve(ipv6Packet.size() + 1);
+  payload.push_back(net::kDispatchIpv6Uncompressed);
+  payload.insert(payload.end(), ipv6Packet.begin(), ipv6Packet.end());
+  frame.payload = std::move(payload);
+  node.send(net::Medium::kIeee802154, frame.encode());
+}
+
+void SixlowpanAgent::sendIpv6(NodeHandle& node, net::Mac16 dstShort,
+                              const net::Ipv6Addr& srcIp,
+                              const net::Ipv6Addr& dstIp, BytesView icmpv6,
+                              std::uint8_t hopLimit) {
+  net::Ipv6Header ip;
+  ip.src = srcIp;
+  ip.dst = dstIp;
+  ip.hopLimit = hopLimit;
+  ip.nextHeader = static_cast<std::uint8_t>(net::IpProto::kIcmpv6);
+  transmit(node, routeTo(dstShort), BytesView(ip.encode(icmpv6)));
+}
+
+void SixlowpanAgent::dioLoop(NodeHandle& node) {
+  net::RplDio dio;
+  dio.instanceId = 1;
+  dio.versionNumber = 1;
+  dio.rank = rank();
+  dio.dodagId = net::Ipv6Addr::linkLocalFromShort(
+      config_.isRoot ? node.mac16() : net::Mac16{0x0001});
+  net::Icmpv6Message msg;
+  msg.type = net::Icmpv6Type::kRplControl;
+  msg.code = net::kRplCodeDio;
+  msg.body = dio.encodeBody();
+
+  const net::Ipv6Addr src = node.ipv6();
+  const net::Ipv6Addr dst = net::Ipv6Addr::allNodesMulticast();
+  net::Ipv6Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.hopLimit = 1;
+  transmit(node, net::Mac16{net::Mac16::kBroadcast},
+           BytesView(ip.encode(msg.encode(src, dst))));
+  ++stats_.diosSent;
+
+  World& world = node.world();
+  const NodeId id = node.id();
+  world.sim().schedule(config_.dioInterval, [this, &world, id] {
+    NodeHandle h = world.handle(id);
+    dioLoop(h);
+  });
+}
+
+void SixlowpanAgent::pingLoop(NodeHandle& node) {
+  net::Icmpv6Message echo;
+  echo.type = net::Icmpv6Type::kEchoRequest;
+  Bytes body;
+  ByteWriter w(body);
+  w.u16be(0x6c50);  // identifier
+  w.u16be(echoSeq_++);
+  w.u32be(static_cast<std::uint32_t>(node.rng().next()));
+  echo.body = body;
+
+  const net::Ipv6Addr src = node.ipv6();
+  const net::Ipv6Addr dst =
+      net::Ipv6Addr::linkLocalFromShort(config_.pingTarget);
+  sendIpv6(node, config_.pingTarget, src, dst, BytesView(echo.encode(src, dst)));
+  ++stats_.echoSent;
+
+  World& world = node.world();
+  const NodeId id = node.id();
+  world.sim().schedule(config_.pingInterval, [this, &world, id] {
+    NodeHandle h = world.handle(id);
+    pingLoop(h);
+  });
+}
+
+void SixlowpanAgent::onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
+                             const net::Dissection& dis) {
+  (void)pkt;
+  if (!dis.ipv6 || !dis.wpan) return;
+  const net::Ipv6Header& ip = *dis.ipv6;
+
+  const bool forMe = ip.dst == node.ipv6() || ip.dst.isMulticast();
+  if (forMe) {
+    if (!dis.icmpv6) return;
+    if (dis.icmpv6->type == net::Icmpv6Type::kEchoRequest &&
+        !ip.dst.isMulticast()) {
+      ++stats_.echoAnswered;
+      net::Icmpv6Message reply;
+      reply.type = net::Icmpv6Type::kEchoReply;
+      reply.body = dis.icmpv6->body;
+      const net::Ipv6Addr src = node.ipv6();
+      auto dstShort = ip.src.embeddedShort();
+      if (!dstShort) return;
+      sendIpv6(node, *dstShort, src, ip.src,
+               BytesView(reply.encode(src, ip.src)));
+    } else if (dis.icmpv6->type == net::Icmpv6Type::kEchoReply) {
+      ++stats_.echoReceived;
+    }
+    return;
+  }
+
+  // Forward along the tree.
+  if (ip.hopLimit <= 1) return;
+  auto dstShort = ip.dst.embeddedShort();
+  if (!dstShort) return;
+  net::Ipv6Header fwd = ip;
+  fwd.hopLimit = static_cast<std::uint8_t>(ip.hopLimit - 1);
+  Bytes inner;
+  if (dis.icmpv6) {
+    inner = dis.icmpv6->encode(ip.src, ip.dst);
+  } else {
+    return;
+  }
+  transmit(node, routeTo(*dstShort), BytesView(fwd.encode(inner)));
+  ++stats_.forwarded;
+}
+
+}  // namespace kalis::sim

@@ -1,0 +1,71 @@
+// 6LoWPAN/RPL agent: IPv6-over-802.15.4 motes forming an RPL DODAG.
+//
+// Implements the slice of RPL the IDS interacts with: the root advertises
+// rank 256 in periodic DIOs, children advertise rank = parent + 256, DAOs
+// register downward routes, and ICMPv6 echo traffic is forwarded hop-by-hop
+// along a statically configured tree (the scenario builder sets next hops,
+// mirroring a converged DODAG). Hop limits decrement per hop.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "net/ieee802154.hpp"
+#include "net/ipv6.hpp"
+#include "sim/world.hpp"
+
+namespace kalis::sim {
+
+class SixlowpanAgent : public Behavior {
+ public:
+  struct Config {
+    bool isRoot = false;
+    std::uint8_t depth = 0;            ///< hops from the root
+    net::Mac16 defaultRoute{0x0000};   ///< next hop toward the root
+    Duration dioInterval = seconds(4);
+    Duration pingInterval = 0;         ///< 0: no periodic echo traffic
+    net::Mac16 pingTarget{0x0000};     ///< who to ping (usually the root)
+    std::uint16_t panId = 0x6c0a;
+  };
+
+  struct Stats {
+    std::uint64_t diosSent = 0;
+    std::uint64_t echoSent = 0;
+    std::uint64_t echoAnswered = 0;
+    std::uint64_t echoReceived = 0;  ///< replies that reached us
+    std::uint64_t forwarded = 0;
+  };
+
+  explicit SixlowpanAgent(Config config) : config_(config) {}
+
+  /// Downward routing entries (dst short addr -> next hop).
+  void setNextHop(net::Mac16 dst, net::Mac16 via) { nextHop_[dst.value] = via; }
+
+  const Stats& stats() const { return stats_; }
+  std::uint16_t rank() const {
+    return static_cast<std::uint16_t>(256 * (config_.depth + 1));
+  }
+
+  void start(NodeHandle& node) override;
+  void onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
+               const net::Dissection& dissection) override;
+
+  /// Sends an IPv6 packet (payload = ICMPv6 bytes) toward dstShort.
+  void sendIpv6(NodeHandle& node, net::Mac16 dstShort,
+                const net::Ipv6Addr& srcIp, const net::Ipv6Addr& dstIp,
+                BytesView icmpv6, std::uint8_t hopLimit = 64);
+
+ private:
+  void dioLoop(NodeHandle& node);
+  void pingLoop(NodeHandle& node);
+  net::Mac16 routeTo(net::Mac16 dst) const;
+  void transmit(NodeHandle& node, net::Mac16 linkDst, BytesView ipv6Packet);
+
+  Config config_;
+  Stats stats_;
+  std::map<std::uint16_t, net::Mac16> nextHop_;
+  std::uint8_t linkSeq_ = 0;
+  std::uint16_t echoSeq_ = 0;
+};
+
+}  // namespace kalis::sim

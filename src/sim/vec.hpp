@@ -1,0 +1,22 @@
+// 2D geometry for node placement and mobility.
+#pragma once
+
+#include <cmath>
+
+namespace kalis::sim {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double k) const { return {x * k, y * k}; }
+  bool operator==(const Vec2&) const = default;
+
+  double norm() const { return std::sqrt(x * x + y * y); }
+};
+
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+}  // namespace kalis::sim

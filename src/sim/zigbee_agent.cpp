@@ -1,0 +1,138 @@
+#include "sim/zigbee_agent.hpp"
+
+namespace kalis::sim {
+
+void ZigbeeAgent::start(NodeHandle& node) {
+  World& world = node.world();
+  const NodeId id = node.id();
+  const Duration jitter = node.rng().nextBelow(milliseconds(400));
+  if (config_.isCoordinator && !config_.subs.empty()) {
+    world.sim().schedule(jitter, [this, &world, id] {
+      NodeHandle h = world.handle(id);
+      pollLoop(h);
+    });
+  }
+  if (config_.reportInterval > 0 && !config_.isCoordinator) {
+    world.sim().schedule(jitter + config_.reportInterval / 2,
+                         [this, &world, id] {
+                           NodeHandle h = world.handle(id);
+                           reportLoop(h);
+                         });
+  }
+}
+
+net::Mac16 ZigbeeAgent::routeTo(net::Mac16 dst) const {
+  auto it = nextHop_.find(dst.value);
+  return it != nextHop_.end() ? it->second : dst;
+}
+
+void ZigbeeAgent::transmitNwk(NodeHandle& node, const net::ZigbeeNwkFrame& nwk,
+                              net::Mac16 linkDst) {
+  net::Ieee802154Frame frame;
+  frame.type = net::WpanFrameType::kData;
+  frame.ackRequest = !linkDst.isBroadcast();
+  frame.seq = linkSeq_++;
+  frame.panId = 0x1aabu;
+  frame.dst = linkDst;
+  frame.src = node.mac16();
+  frame.payload = nwk.encode();
+  node.send(net::Medium::kIeee802154, frame.encode());
+}
+
+void ZigbeeAgent::sendNwkData(NodeHandle& node, net::Mac16 dst,
+                              Bytes appPayload) {
+  net::ZigbeeNwkFrame nwk;
+  nwk.type = net::ZigbeeFrameType::kData;
+  nwk.securityEnabled = config_.securityEnabled;
+  nwk.dst = dst;
+  nwk.src = node.mac16();
+  nwk.radius = config_.maxRadius;
+  nwk.seq = nwkSeq_++;
+  nwk.payload = std::move(appPayload);
+  transmitNwk(node, nwk, routeTo(dst));
+}
+
+void ZigbeeAgent::pollLoop(NodeHandle& node) {
+  // Round-robin "set/get" command to each sub.
+  const net::Mac16 target = config_.subs[pollIndex_ % config_.subs.size()];
+  ++pollIndex_;
+  Bytes payload;
+  ByteWriter w(payload);
+  w.u8(kAppCommand);
+  w.u8(static_cast<std::uint8_t>(node.rng().nextBelow(4)));  // command opcode
+  w.u16be(static_cast<std::uint16_t>(node.rng().nextBelow(0x10000)));
+  sendNwkData(node, target, std::move(payload));
+  ++stats_.commandsSent;
+
+  World& world = node.world();
+  const NodeId id = node.id();
+  world.sim().schedule(config_.commandInterval / (config_.subs.empty() ? 1 : config_.subs.size()),
+                       [this, &world, id] {
+                         NodeHandle h = world.handle(id);
+                         pollLoop(h);
+                       });
+}
+
+void ZigbeeAgent::reportLoop(NodeHandle& node) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.u8(kAppReport);
+  w.u16be(static_cast<std::uint16_t>(node.rng().nextBelow(0x10000)));
+  sendNwkData(node, net::Mac16{0x0000}, std::move(payload));  // to coordinator
+  ++stats_.reportsSent;
+
+  World& world = node.world();
+  const NodeId id = node.id();
+  world.sim().schedule(config_.reportInterval, [this, &world, id] {
+    NodeHandle h = world.handle(id);
+    reportLoop(h);
+  });
+}
+
+void ZigbeeAgent::onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
+                          const net::Dissection& dissection) {
+  (void)pkt;
+  if (!dissection.zigbee || !dissection.wpan) return;
+  const net::ZigbeeNwkFrame& nwk = *dissection.zigbee;
+
+  if (nwk.dst == node.mac16() || nwk.dst.isBroadcast()) {
+    // Consume.
+    if (nwk.type != net::ZigbeeFrameType::kData || nwk.payload.empty()) return;
+    const std::uint8_t tag = nwk.payload[0];
+    if (tag == kAppCommand) {
+      ++stats_.commandsReceived;
+      if (!config_.autoReply) return;
+      // Respond with a status report back to the commander.
+      Bytes payload;
+      ByteWriter w(payload);
+      w.u8(kAppReport);
+      w.u16be(static_cast<std::uint16_t>(node.rng().nextBelow(0x10000)));
+      const net::Mac16 commander = nwk.src;
+      World& world = node.world();
+      const NodeId id = node.id();
+      world.sim().schedule(milliseconds(5 + node.rng().nextBelow(20)),
+                           [this, &world, id, commander, payload] {
+                             NodeHandle h = world.handle(id);
+                             sendNwkData(h, commander, payload);
+                             ++stats_.reportsSent;
+                           });
+    } else if (tag == kAppReport) {
+      ++stats_.reportsReceived;
+      ++stats_.reportsBySub[nwk.src.value];
+    }
+    return;
+  }
+
+  // Relay path: the NWK destination is someone else.
+  if (nwk.radius == 0) return;
+  if (policy_ && !policy_->shouldRelay(node, nwk)) {
+    ++stats_.droppedByPolicy;
+    return;
+  }
+  net::ZigbeeNwkFrame fwd = nwk;
+  fwd.radius = static_cast<std::uint8_t>(nwk.radius - 1);
+  transmitNwk(node, fwd, routeTo(nwk.dst));
+  ++stats_.relayed;
+}
+
+}  // namespace kalis::sim

@@ -1,0 +1,95 @@
+// ZigBee hub-to-subs agent, reproducing the paper's "master-slaves" product
+// structure (§II-A): a powerful coordinator (hub) commanding constrained
+// devices (subs) over ZigBee, possibly across multiple NWK hops.
+//
+// Routing is source-configured: the scenario builder installs static
+// next-hop entries (the tree shape), and relays forward NWK frames whose
+// destination is not themselves while the radius allows. Attacks hook in
+// through RelayPolicy (selective forwarding / blackhole / wormhole).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/zigbee.hpp"
+#include "sim/world.hpp"
+
+namespace kalis::sim {
+
+class ZigbeeAgent : public Behavior {
+ public:
+  struct Config {
+    bool isCoordinator = false;
+    Duration commandInterval = seconds(5);  ///< hub polls each sub
+    Duration reportInterval = 0;            ///< 0: subs report only when polled
+    bool securityEnabled = false;           ///< sets the NWK security bit
+    std::uint8_t maxRadius = 8;
+    bool autoReply = true;                  ///< subs answer commands
+    std::vector<net::Mac16> subs;           ///< coordinator's device list
+  };
+
+  /// Relay decision hook. Default relays everything.
+  class RelayPolicy {
+   public:
+    virtual ~RelayPolicy() = default;
+    /// Return false to drop instead of relaying. Active policies (wormhole)
+    /// may transmit elsewhere through `node`/the world before returning.
+    virtual bool shouldRelay(NodeHandle& node, const net::ZigbeeNwkFrame& nwk) {
+      (void)node;
+      (void)nwk;
+      return true;
+    }
+  };
+
+  struct Stats {
+    std::uint64_t commandsSent = 0;
+    std::uint64_t reportsSent = 0;
+    std::uint64_t relayed = 0;
+    std::uint64_t droppedByPolicy = 0;
+    std::uint64_t noRoute = 0;
+    // Coordinator only:
+    std::uint64_t reportsReceived = 0;
+    std::map<std::uint16_t, std::uint64_t> reportsBySub;
+    // Sub only:
+    std::uint64_t commandsReceived = 0;
+  };
+
+  // Application payload tags (aliases of the shared protocol constants).
+  static constexpr std::uint8_t kAppCommand = net::kZigbeeAppCommand;
+  static constexpr std::uint8_t kAppReport = net::kZigbeeAppReport;
+
+  explicit ZigbeeAgent(Config config) : config_(std::move(config)) {}
+
+  void setNextHop(net::Mac16 dst, net::Mac16 via) { nextHop_[dst.value] = via; }
+  void setRelayPolicy(std::shared_ptr<RelayPolicy> policy) {
+    policy_ = std::move(policy);
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  void start(NodeHandle& node) override;
+  void onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
+               const net::Dissection& dissection) override;
+
+  /// Builds and transmits a NWK data frame toward `dst` (used by agents and
+  /// by attack injectors that want protocol-correct traffic).
+  void sendNwkData(NodeHandle& node, net::Mac16 dst, Bytes appPayload);
+
+ private:
+  void pollLoop(NodeHandle& node);
+  void reportLoop(NodeHandle& node);
+  net::Mac16 routeTo(net::Mac16 dst) const;
+  void transmitNwk(NodeHandle& node, const net::ZigbeeNwkFrame& nwk,
+                   net::Mac16 linkDst);
+
+  Config config_;
+  std::shared_ptr<RelayPolicy> policy_;
+  Stats stats_;
+  std::map<std::uint16_t, net::Mac16> nextHop_;
+  std::uint8_t nwkSeq_ = 0;
+  std::uint8_t linkSeq_ = 0;
+  std::size_t pollIndex_ = 0;
+};
+
+}  // namespace kalis::sim

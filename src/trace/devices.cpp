@@ -1,0 +1,64 @@
+#include "trace/devices.hpp"
+
+namespace kalis::trace {
+
+namespace {
+sim::IpHostAgent::FlowSpec cloudFlow(net::Ipv4Addr cloud, Duration interval,
+                                     std::size_t request, std::size_t response) {
+  sim::IpHostAgent::FlowSpec flow;
+  flow.dst = cloud;
+  flow.dstPort = 443;
+  flow.interval = interval;
+  flow.requestBytes = request;
+  flow.responseBytes = response;
+  flow.encrypted = true;  // consumer IoT payloads are TLS (paper §IV-A)
+  return flow;
+}
+}  // namespace
+
+WifiDeviceSpec makeThermostat(net::Ipv4Addr cloud, net::Mac48 bssid) {
+  WifiDeviceSpec spec;
+  spec.name = "thermostat";
+  spec.config.bssid = bssid;
+  spec.config.respondToPing = true;
+  spec.config.flows.push_back(cloudFlow(cloud, seconds(30), 180, 420));
+  return spec;
+}
+
+WifiDeviceSpec makeSmartBulb(net::Ipv4Addr cloud, net::Mac48 bssid) {
+  WifiDeviceSpec spec;
+  spec.name = "bulb";
+  spec.config.bssid = bssid;
+  spec.config.respondToPing = true;
+  spec.config.openPorts = {56700};  // LIFX LAN protocol port
+  spec.config.flows.push_back(cloudFlow(cloud, seconds(45), 120, 250));
+  return spec;
+}
+
+WifiDeviceSpec makeCamera(net::Ipv4Addr cloud, net::Mac48 bssid) {
+  WifiDeviceSpec spec;
+  spec.name = "camera";
+  spec.config.bssid = bssid;
+  spec.config.respondToPing = true;
+  spec.config.openPorts = {554};  // RTSP
+  spec.config.flows.push_back(cloudFlow(cloud, seconds(10), 600, 1200));
+  return spec;
+}
+
+WifiDeviceSpec makeDashButton(net::Ipv4Addr cloud, net::Mac48 bssid) {
+  WifiDeviceSpec spec;
+  spec.name = "dash-button";
+  spec.config.bssid = bssid;
+  spec.config.respondToPing = false;  // sleeps between presses
+  spec.config.flows.push_back(cloudFlow(cloud, seconds(120), 90, 120));
+  return spec;
+}
+
+sim::BleDeviceAgent::Config makeSmartLockBle() {
+  sim::BleDeviceAgent::Config config;
+  config.advInterval = milliseconds(1000);
+  config.advData = bytesOf("\x02\x01\x06\x0aAUGUST");
+  return config;
+}
+
+}  // namespace kalis::trace

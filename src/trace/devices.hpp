@@ -1,0 +1,37 @@
+// Synthetic models of the paper's commodity IoT devices (§VI-A: Nest
+// Thermostat, August SmartLock, Lifx bulb, Arlo security system, Amazon
+// Dash Button). Each factory returns a configured behavior reproducing the
+// device's traffic shape: periodic encrypted cloud sync over WiFi/TCP, BLE
+// advertising, etc. These stand in for the recorded real-device traces
+// (see DESIGN.md §1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/ble_device.hpp"
+#include "sim/ip_host.hpp"
+
+namespace kalis::trace {
+
+struct WifiDeviceSpec {
+  std::string name;
+  sim::IpHostAgent::Config config;
+};
+
+/// Nest-style thermostat: quiet, periodic encrypted sync, answers pings.
+WifiDeviceSpec makeThermostat(net::Ipv4Addr cloud, net::Mac48 bssid);
+
+/// Lifx-style bulb: light control endpoint (open port), periodic sync.
+WifiDeviceSpec makeSmartBulb(net::Ipv4Addr cloud, net::Mac48 bssid);
+
+/// Arlo-style camera: chatty uploader, frequent larger transfers.
+WifiDeviceSpec makeCamera(net::Ipv4Addr cloud, net::Mac48 bssid);
+
+/// Dash-button-style device: rare, tiny bursts.
+WifiDeviceSpec makeDashButton(net::Ipv4Addr cloud, net::Mac48 bssid);
+
+/// August-style smart lock: BLE advertiser.
+sim::BleDeviceAgent::Config makeSmartLockBle();
+
+}  // namespace kalis::trace

@@ -1,0 +1,68 @@
+// Binary capture-trace format ("KTRC"), the record-and-replay substrate.
+//
+// The paper's evaluation records traces of real device traffic and replays
+// them with attack symptoms spliced in (§VI-A). This module provides the
+// same workflow: serialize CapturedPackets to disk or memory, read them
+// back, merge traces, and replay them through a sink — either immediately
+// (offline analysis) or paced through a Simulator (online detection, with
+// the Data Store replaying "transparently to the detection modules").
+//
+// Record layout (all integers little-endian):
+//   file   := magic("KTRC") u32 | version u16 | record*
+//   record := medium u8 | channel i16 | rssiDeciDbm i16 | timestamp u64
+//             | length u32 | bytes[length] | crc32 u32
+// The CRC covers the record from `medium` through the frame bytes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace kalis::trace {
+
+using Trace = std::vector<net::CapturedPacket>;
+
+/// Serializes packets into the KTRC byte stream.
+class TraceWriter {
+ public:
+  TraceWriter();
+  void append(const net::CapturedPacket& pkt);
+  const Bytes& buffer() const { return buffer_; }
+  /// Writes the accumulated buffer to a file. Returns false on I/O error.
+  bool writeFile(const std::string& path) const;
+
+ private:
+  Bytes buffer_;
+};
+
+/// Parses a KTRC byte stream. Stops at the first corrupt record (CRC or
+/// structural failure) and reports how many records were recovered.
+struct TraceReadResult {
+  Trace packets;
+  bool truncated = false;  ///< true if a corrupt/partial record was hit
+};
+
+TraceReadResult readTrace(BytesView data);
+std::optional<TraceReadResult> readTraceFile(const std::string& path);
+
+/// Serializes a whole trace (convenience over TraceWriter).
+Bytes serializeTrace(const Trace& trace);
+
+/// Merges traces by timestamp (stable for ties) — how attack symptom
+/// packets get spliced into a recorded benign trace.
+Trace mergeTraces(const Trace& a, const Trace& b);
+
+/// Immediately pushes every packet into the sink, in order.
+void replay(const Trace& trace,
+            const std::function<void(const net::CapturedPacket&)>& sink);
+
+/// Schedules each packet at its recorded timestamp on the simulator clock,
+/// so detection runs exactly as if the traffic were live.
+void replayInto(sim::Simulator& sim, Trace trace,
+                std::function<void(const net::CapturedPacket&)> sink);
+
+}  // namespace kalis::trace

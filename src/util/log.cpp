@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace kalis {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+namespace {
+const char* levelName(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel lvl, const std::string& component,
+                const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", levelName(lvl), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace kalis

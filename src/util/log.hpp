@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// Logging in a packet-per-event system must be cheap when disabled; the
+// macros below evaluate their arguments only when the level is active.
+// Output goes to stderr so that bench binaries can print clean tables on
+// stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace kalis {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration. Not thread-safe by design: the simulator
+/// is single-threaded and deterministic.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void setLevel(LogLevel lvl) { level_ = lvl; }
+  static bool enabled(LogLevel lvl) { return lvl >= level_; }
+
+  /// Emits one formatted line: "[LVL] component: message".
+  static void write(LogLevel lvl, const std::string& component,
+                    const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+#define KALIS_LOG(lvl, component, expr)                              \
+  do {                                                               \
+    if (::kalis::Log::enabled(lvl)) {                                \
+      std::ostringstream kalis_log_oss_;                             \
+      kalis_log_oss_ << expr;                                        \
+      ::kalis::Log::write(lvl, component, kalis_log_oss_.str());     \
+    }                                                                \
+  } while (0)
+
+#define KALIS_TRACE(component, expr) KALIS_LOG(::kalis::LogLevel::kTrace, component, expr)
+#define KALIS_DEBUG(component, expr) KALIS_LOG(::kalis::LogLevel::kDebug, component, expr)
+#define KALIS_INFO(component, expr) KALIS_LOG(::kalis::LogLevel::kInfo, component, expr)
+#define KALIS_WARN(component, expr) KALIS_LOG(::kalis::LogLevel::kWarn, component, expr)
+#define KALIS_ERROR(component, expr) KALIS_LOG(::kalis::LogLevel::kError, component, expr)
+
+}  // namespace kalis

@@ -1,0 +1,130 @@
+// Time-based sliding window containers.
+//
+// The Traffic Statistics sensing module and several detection modules reason
+// about "events in the last W microseconds". These containers keep exactly
+// the events inside the window, evicting lazily on access, and maintain O(1)
+// aggregate queries.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "util/types.hpp"
+
+namespace kalis {
+
+/// Counts timestamped occurrences within a fixed-duration trailing window.
+class SlidingCounter {
+ public:
+  explicit SlidingCounter(Duration window) : window_(window) {}
+
+  void record(SimTime t) {
+    evict(t);
+    times_.push_back(t);
+  }
+
+  /// Number of events in (now - window, now].
+  std::size_t count(SimTime now) {
+    evict(now);
+    return times_.size();
+  }
+
+  /// Events per second over the window.
+  double rate(SimTime now) {
+    evict(now);
+    if (window_ == 0) return 0.0;
+    return static_cast<double>(times_.size()) / toSeconds(window_);
+  }
+
+  void clear() { times_.clear(); }
+
+  Duration window() const { return window_; }
+
+  /// Approximate live memory footprint, for the RAM accounting proxy.
+  std::size_t memoryBytes() const { return times_.size() * sizeof(SimTime); }
+
+ private:
+  void evict(SimTime now) {
+    const SimTime cutoff = now > window_ ? now - window_ : 0;
+    while (!times_.empty() && times_.front() <= cutoff) times_.pop_front();
+  }
+
+  Duration window_;
+  std::deque<SimTime> times_;
+};
+
+/// Keeps (time, value) samples within a trailing window with an O(1) sum.
+class SlidingSum {
+ public:
+  explicit SlidingSum(Duration window) : window_(window) {}
+
+  void record(SimTime t, double value) {
+    evict(t);
+    samples_.emplace_back(t, value);
+    sum_ += value;
+  }
+
+  double sum(SimTime now) {
+    evict(now);
+    return sum_;
+  }
+
+  std::size_t count(SimTime now) {
+    evict(now);
+    return samples_.size();
+  }
+
+  double mean(SimTime now) {
+    evict(now);
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+
+  std::size_t memoryBytes() const {
+    return samples_.size() * sizeof(std::pair<SimTime, double>);
+  }
+
+ private:
+  void evict(SimTime now) {
+    const SimTime cutoff = now > window_ ? now - window_ : 0;
+    while (!samples_.empty() && samples_.front().first <= cutoff) {
+      sum_ -= samples_.front().second;
+      samples_.pop_front();
+    }
+  }
+
+  Duration window_;
+  std::deque<std::pair<SimTime, double>> samples_;
+  double sum_ = 0.0;
+};
+
+/// Fixed-capacity most-recent-items buffer (the Data Store packet window).
+template <typename T>
+class RingWindow {
+ public:
+  explicit RingWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(T item) {
+    items_.push_back(std::move(item));
+    if (items_.size() > capacity_) items_.pop_front();
+  }
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+
+  /// 0 = oldest retained item.
+  const T& at(std::size_t i) const { return items_[i]; }
+  const T& newest() const { return items_.back(); }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  void clear() { items_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace kalis

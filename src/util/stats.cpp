@@ -1,0 +1,26 @@
+#include "util/stats.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace kalis {
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+double byteEntropy(BytesView data) {
+  if (data.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (std::uint8_t b : data) ++counts[b];
+  const double n = static_cast<double>(data.size());
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace kalis

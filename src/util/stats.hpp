@@ -1,0 +1,68 @@
+// Streaming statistics helpers: EWMA, Welford accumulators, byte entropy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace kalis {
+
+/// Exponentially weighted moving average; used by the Mobility Awareness
+/// module to smooth per-node RSSI readings.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Shannon entropy of the byte distribution, in bits per byte (0..8).
+/// The Encryption Detection sensing module classifies payloads with entropy
+/// above ~7 bits/byte as likely encrypted.
+double byteEntropy(BytesView data);
+
+}  // namespace kalis

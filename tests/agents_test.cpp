@@ -1,0 +1,264 @@
+// Protocol agent tests: CTP tree formation and collection, ZigBee
+// hub/sub/relay behavior, the WiFi/IP hosts + router + cloud loop, BLE
+// advertising, and the 6LoWPAN/RPL tree.
+#include <gtest/gtest.h>
+
+#include "scenarios/environments.hpp"
+#include "sim/ble_device.hpp"
+#include "sim/ctp_agent.hpp"
+#include "sim/ip_host.hpp"
+#include "sim/sixlowpan_agent.hpp"
+#include "sim/zigbee_agent.hpp"
+
+namespace kalis::sim {
+namespace {
+
+// --- CTP ------------------------------------------------------------------------
+
+struct CtpFixture : ::testing::Test {
+  Simulator simulator{11};
+  World world{simulator};
+  scenarios::Wsn wsn;
+
+  void SetUp() override { wsn = scenarios::buildWsn(world, 4, seconds(3)); }
+};
+
+TEST_F(CtpFixture, TreeFormsWithIncreasingEtx) {
+  world.start();
+  simulator.runUntil(seconds(15));
+  // Mote i should hang below mote i-1 (line topology forces it).
+  EXPECT_EQ(wsn.moteAgents[0]->parent(), world.mac16Of(wsn.root));
+  EXPECT_EQ(wsn.moteAgents[1]->parent(), world.mac16Of(wsn.motes[0]));
+  EXPECT_EQ(wsn.moteAgents[2]->parent(), world.mac16Of(wsn.motes[1]));
+  EXPECT_LT(wsn.moteAgents[0]->etx(), wsn.moteAgents[1]->etx());
+  EXPECT_LT(wsn.moteAgents[1]->etx(), wsn.moteAgents[2]->etx());
+}
+
+TEST_F(CtpFixture, DataFromEveryOriginReachesRoot) {
+  world.start();
+  simulator.runUntil(seconds(60));
+  const auto& delivered = wsn.rootAgent->stats().deliveredByOrigin;
+  for (NodeId mote : wsn.motes) {
+    const auto it = delivered.find(world.mac16Of(mote).value);
+    ASSERT_NE(it, delivered.end())
+        << "no data from " << world.nameOf(mote);
+    EXPECT_GE(it->second, 5u);
+  }
+}
+
+TEST_F(CtpFixture, IntermediateMotesForward) {
+  world.start();
+  simulator.runUntil(seconds(60));
+  EXPECT_GT(wsn.moteAgents[0]->stats().dataForwarded, 20u);
+  EXPECT_EQ(wsn.moteAgents[3]->stats().dataForwarded, 0u);  // leaf
+}
+
+TEST_F(CtpFixture, ForwardPolicyDropsCountAgainstDelivery) {
+  struct DropAll : CtpAgent::ForwardPolicy {
+    bool shouldForward(NodeHandle&, const net::CtpData&) override {
+      return false;
+    }
+  };
+  wsn.moteAgents[0]->setForwardPolicy(std::make_shared<DropAll>());
+  world.start();
+  simulator.runUntil(seconds(60));
+  // Only the first mote's own data can arrive; everything relayed dies.
+  const auto& delivered = wsn.rootAgent->stats().deliveredByOrigin;
+  EXPECT_TRUE(delivered.contains(world.mac16Of(wsn.motes[0]).value));
+  EXPECT_FALSE(delivered.contains(world.mac16Of(wsn.motes[2]).value));
+  EXPECT_GT(wsn.moteAgents[0]->stats().dataDropped, 10u);
+}
+
+TEST_F(CtpFixture, RewritePolicyAltersForwardedPayload) {
+  struct FlipFirst : CtpAgent::ForwardPolicy {
+    std::optional<Bytes> rewritePayload(NodeHandle&,
+                                        const net::CtpData& data) override {
+      Bytes out = data.payload;
+      if (!out.empty()) out[0] ^= 0xff;
+      return out;
+    }
+  };
+  wsn.moteAgents[0]->setForwardPolicy(std::make_shared<FlipFirst>());
+
+  // Watch what the root receives vs what the origin sent.
+  std::vector<Bytes> atRoot;
+  const NodeId sniffer = world.addNode("sniffer", NodeRole::kIdsBox, {0, 2});
+  world.enableRadio(sniffer, net::Medium::kIeee802154,
+                    scenarios::idsWideRadio());
+  const std::string tamperer = net::toString(world.mac16Of(wsn.motes[0]));
+  world.addSniffer(sniffer, net::Medium::kIeee802154,
+                   [&](const net::CapturedPacket& pkt) {
+                     const auto d = net::dissect(pkt);
+                     // Only the tampering relay's own forwards are altered;
+                     // honest relays downstream forward faithfully.
+                     if (d.ctpData && d.ctpData->thl > 0 &&
+                         d.linkSource() == tamperer) {
+                       atRoot.push_back(d.ctpData->payload);
+                     }
+                   });
+  world.start();
+  simulator.runUntil(seconds(30));
+  ASSERT_FALSE(atRoot.empty());
+  // Forwarded payloads are tampered: first byte flipped relative to a fresh
+  // sensor reading's plausible range (0x0b..0x0c for ~2950 decikelvin).
+  for (const Bytes& payload : atRoot) {
+    ASSERT_FALSE(payload.empty());
+    EXPECT_GE(payload[0], 0xf0);  // 0x0b ^ 0xff
+  }
+}
+
+// --- ZigBee -----------------------------------------------------------------------
+
+TEST(ZigbeeAgents, HubPollsAndSubsReply) {
+  Simulator simulator(5);
+  World world(simulator);
+  auto star = scenarios::buildZigbeeStar(world, 3, seconds(2));
+  world.start();
+  simulator.runUntil(seconds(40));
+  EXPECT_GT(star.coordinatorAgent->stats().commandsSent, 5u);
+  EXPECT_GT(star.coordinatorAgent->stats().reportsReceived, 10u);
+  for (auto* sub : star.subAgents) {
+    EXPECT_GT(sub->stats().commandsReceived, 1u);
+    EXPECT_GT(sub->stats().reportsSent, 5u);
+  }
+}
+
+TEST(ZigbeeAgents, RelayForwardsWithRadiusDecrement) {
+  Simulator simulator(5);
+  World world(simulator);
+  auto chain = scenarios::buildZigbeeWormholeChain(world, seconds(1));
+  world.start();
+  simulator.runUntil(seconds(20));
+  // Without the wormhole policy installed, B1 is an honest relay.
+  EXPECT_GT(chain.b1Agent->stats().relayed, 10u);
+}
+
+TEST(ZigbeeAgents, AutoReplyOffKeepsSubSilent) {
+  Simulator simulator(5);
+  World world(simulator);
+  auto chain = scenarios::buildZigbeeWormholeChain(world, seconds(1));
+  world.start();
+  simulator.runUntil(seconds(20));
+  EXPECT_GT(chain.hubAgent->stats().commandsSent, 10u);
+  EXPECT_EQ(chain.hubAgent->stats().reportsReceived, 0u);
+}
+
+// --- WiFi / IP home ------------------------------------------------------------------
+
+struct HomeFixture : ::testing::Test {
+  Simulator simulator{9};
+  World world{simulator};
+  InternetCloud cloud;
+  scenarios::HomeWifi home;
+
+  void SetUp() override { home = scenarios::buildHomeWifi(world, cloud, 9); }
+};
+
+TEST_F(HomeFixture, DevicesCompleteCloudSessions) {
+  world.start();
+  simulator.runUntil(seconds(90));
+  EXPECT_GT(home.thermostatAgent->stats().sessionsCompleted, 0u);
+  EXPECT_GT(home.cameraAgent->stats().sessionsCompleted, 3u);
+  EXPECT_GT(home.routerAgent->stats().outboundForwarded, 10u);
+  EXPECT_GT(home.routerAgent->stats().inboundInjected, 10u);
+}
+
+TEST_F(HomeFixture, RouterBeacons) {
+  world.start();
+  simulator.runUntil(seconds(10));
+  EXPECT_GT(home.routerAgent->stats().beaconsSent, 10u);
+}
+
+TEST_F(HomeFixture, FirewallHookBlocksInbound) {
+  home.routerAgent->setFirewall(
+      [](const net::Ipv4Header&, BytesView) { return false; });
+  world.start();
+  simulator.runUntil(seconds(60));
+  EXPECT_EQ(home.routerAgent->stats().inboundInjected, 0u);
+  EXPECT_GT(home.routerAgent->stats().inboundBlocked, 5u);
+  // Sessions cannot complete when responses never come back.
+  EXPECT_EQ(home.cameraAgent->stats().sessionsCompleted, 0u);
+}
+
+TEST_F(HomeFixture, StationsAnswerPings) {
+  // Inject an echo request from the cloud toward the thermostat.
+  world.start();
+  simulator.runUntil(seconds(1));
+  net::Ipv4Header ip;
+  ip.src = home.cloudIp;
+  ip.dst = world.ipv4Of(home.thermostat);
+  ip.protocol = net::IpProto::kIcmp;
+  net::IcmpMessage ping;
+  ping.type = net::IcmpType::kEchoRequest;
+  ping.identifier = 7;
+  cloud.sendToLocal(ip, ping.encode());
+  simulator.runUntil(seconds(3));
+  EXPECT_EQ(home.thermostatAgent->stats().pingsAnswered, 1u);
+}
+
+TEST(InternetCloud, HostAddressesAreDistinct) {
+  InternetCloud cloud;
+  const auto a = cloud.addHost("a", nullptr);
+  const auto b = cloud.addHost("b", nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.value >> 24, 198u);
+}
+
+// --- BLE ---------------------------------------------------------------------------
+
+TEST(BleDevice, AdvertisesPeriodically) {
+  Simulator simulator(3);
+  World world(simulator);
+  const NodeId lock = world.addNode("lock", NodeRole::kSub, {0, 0});
+  world.enableRadio(lock, net::Medium::kBluetooth);
+  BleDeviceAgent::Config config;
+  config.advInterval = milliseconds(500);
+  config.advData = bytesOf("LOCK");
+  auto agent = std::make_unique<BleDeviceAgent>(config);
+  BleDeviceAgent* raw = agent.get();
+  world.setBehavior(lock, std::move(agent));
+
+  const NodeId ids = world.addNode("ids", NodeRole::kIdsBox, {1, 0});
+  world.enableRadio(ids, net::Medium::kBluetooth);
+  std::size_t advsSeen = 0;
+  world.addSniffer(ids, net::Medium::kBluetooth,
+                   [&](const net::CapturedPacket& pkt) {
+                     const auto d = net::dissect(pkt);
+                     if (d.type == net::PacketType::kBleAdv) ++advsSeen;
+                   });
+  world.start();
+  simulator.runUntil(seconds(10));
+  EXPECT_GE(raw->advsSent(), 18u);
+  EXPECT_GE(advsSeen, 18u);
+}
+
+// --- 6LoWPAN / RPL -----------------------------------------------------------------------
+
+TEST(Sixlowpan, PingsTraverseTreeAndRepliesReturn) {
+  Simulator simulator(13);
+  World world(simulator);
+  auto tree = scenarios::buildSixlowpanTree(world, seconds(2));
+  world.start();
+  simulator.runUntil(seconds(40));
+  // Leaves are 2 hops out: their pings must be forwarded by routers and
+  // answered by the root.
+  EXPECT_GT(tree.agents[0]->stats().echoAnswered, 20u);  // root
+  for (std::size_t leaf = 3; leaf < tree.agents.size(); ++leaf) {
+    EXPECT_GT(tree.agents[leaf]->stats().echoSent, 10u);
+    EXPECT_GT(tree.agents[leaf]->stats().echoReceived, 5u)
+        << "leaf " << leaf << " never got replies";
+  }
+  EXPECT_GT(tree.agents[1]->stats().forwarded, 10u);  // router 1 relays
+}
+
+TEST(Sixlowpan, DioRanksReflectDepth) {
+  Simulator simulator(13);
+  World world(simulator);
+  auto tree = scenarios::buildSixlowpanTree(world, 0);
+  EXPECT_EQ(tree.agents[0]->rank(), 256);
+  EXPECT_EQ(tree.agents[1]->rank(), 512);
+  EXPECT_EQ(tree.agents[3]->rank(), 768);
+}
+
+}  // namespace
+}  // namespace kalis::sim

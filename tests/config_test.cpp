@@ -1,0 +1,126 @@
+// Configuration-file parser tests against the Fig. 6 grammar, including the
+// paper's own Fig. 7 example.
+#include <gtest/gtest.h>
+
+#include "kalis/config.hpp"
+
+namespace kalis::ids {
+namespace {
+
+TEST(Config, PaperFigure7Example) {
+  const char* text = R"(
+modules = {
+  TopologyDetectionModule,
+  TrafficStatsModule (
+    activationThresh=1,
+    detectionThresh=2
+  )
+}
+knowggets = {
+  mobility = false
+}
+)";
+  const auto result = parseConfig(text);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.config.modules.size(), 2u);
+  EXPECT_EQ(result.config.modules[0].name, "TopologyDetectionModule");
+  EXPECT_TRUE(result.config.modules[0].params.empty());
+  EXPECT_EQ(result.config.modules[1].name, "TrafficStatsModule");
+  EXPECT_EQ(result.config.modules[1].params.at("activationThresh"), "1");
+  EXPECT_EQ(result.config.modules[1].params.at("detectionThresh"), "2");
+  ASSERT_EQ(result.config.knowggets.size(), 1u);
+  EXPECT_EQ(result.config.knowggets[0].label, "mobility");
+  EXPECT_EQ(result.config.knowggets[0].value, "false");
+}
+
+TEST(Config, KnowggetWithEntitySuffix) {
+  const auto result = parseConfig(
+      "modules = { } knowggets = { SignalStrength@SensorA = -67 }");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.config.knowggets.size(), 1u);
+  EXPECT_EQ(result.config.knowggets[0].label, "SignalStrength");
+  EXPECT_EQ(result.config.knowggets[0].entity, "SensorA");
+  EXPECT_EQ(result.config.knowggets[0].value, "-67");
+}
+
+TEST(Config, EmptySections) {
+  const auto result = parseConfig("modules = { } knowggets = { }");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.config.modules.empty());
+  EXPECT_TRUE(result.config.knowggets.empty());
+}
+
+TEST(Config, SectionsOptionalAndReorderable) {
+  auto result = parseConfig("knowggets = { Multihop = true }");
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.config.modules.empty());
+
+  result = parseConfig(
+      "knowggets = { a = 1 } modules = { IcmpFloodModule }");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.config.modules.size(), 1u);
+}
+
+TEST(Config, Comments) {
+  const auto result = parseConfig(R"(
+# full-line comment
+modules = {
+  IcmpFloodModule  # trailing comment
+}
+knowggets = { }
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.config.modules.size(), 1u);
+}
+
+TEST(Config, MultipleParamsAndDottedValues) {
+  const auto result = parseConfig(
+      "modules = { TrafficStatsModule(windowSeconds=2.5, foo=bar) } "
+      "knowggets = { TrafficFrequency.TCPSYN = 0.037 }");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.config.modules[0].params.at("windowSeconds"), "2.5");
+  EXPECT_EQ(result.config.knowggets[0].label, "TrafficFrequency.TCPSYN");
+}
+
+TEST(Config, ErrorsCarryLineNumbers) {
+  const auto result = parseConfig("modules = {\n  BadModule(\n}");
+  ASSERT_FALSE(result.ok);
+  EXPECT_GE(result.errorLine, 2);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Config, MissingEqualsRejected) {
+  const auto result = parseConfig("modules { A }");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Config, UnknownSectionRejected) {
+  const auto result = parseConfig("gadgets = { A }");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Config, UnterminatedListRejected) {
+  EXPECT_FALSE(parseConfig("modules = { A, B").ok);
+  EXPECT_FALSE(parseConfig("knowggets = { a = ").ok);
+}
+
+TEST(Config, FormatParseRoundTrip) {
+  KalisConfig config;
+  ModuleSpec spec;
+  spec.name = "TrafficStatsModule";
+  spec.params["windowSeconds"] = "5";
+  config.modules.push_back(spec);
+  config.modules.push_back(ModuleSpec{"TopologyDiscoveryModule", {}});
+  config.knowggets.push_back(StaticKnowgget{"Mobility", "", "false"});
+  config.knowggets.push_back(StaticKnowgget{"SignalStrength", "SensorA", "-67"});
+
+  const auto reparsed = parseConfig(formatConfig(config));
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  ASSERT_EQ(reparsed.config.modules.size(), 2u);
+  EXPECT_EQ(reparsed.config.modules[0].params.at("windowSeconds"), "5");
+  ASSERT_EQ(reparsed.config.knowggets.size(), 2u);
+  EXPECT_EQ(reparsed.config.knowggets[1].entity, "SensorA");
+}
+
+}  // namespace
+}  // namespace kalis::ids

@@ -1,0 +1,197 @@
+// KalisNode composition tests: configuration loading, the standard library,
+// traditional-IDS emulation, peer discovery and collective-knowledge
+// synchronization, and resource accounting.
+#include <gtest/gtest.h>
+
+#include "kalis/kalis_node.hpp"
+#include "kalis/modules/wormhole.hpp"
+
+namespace kalis::ids {
+namespace {
+
+struct NodeFixture : ::testing::Test {
+  sim::Simulator simulator{17};
+};
+
+TEST_F(NodeFixture, StandardLibraryLoadsEveryRegisteredModule) {
+  KalisNode node(simulator);
+  node.useStandardLibrary();
+  EXPECT_EQ(node.modules().moduleCount(), ModuleRegistry::global().size());
+}
+
+TEST_F(NodeFixture, AddModuleByNameRejectsUnknownAndDuplicates) {
+  KalisNode node(simulator);
+  EXPECT_TRUE(node.addModuleByName("IcmpFloodModule"));
+  EXPECT_FALSE(node.addModuleByName("IcmpFloodModule"));  // duplicate
+  EXPECT_FALSE(node.addModuleByName("NoSuchModule"));
+}
+
+TEST_F(NodeFixture, ApplyConfigLoadsModulesAndStaticKnowledge) {
+  KalisNode node(simulator);
+  const auto parsed = parseConfig(R"(
+modules = {
+  TopologyDiscoveryModule,
+  TrafficStatsModule ( windowSeconds=2 )
+}
+knowggets = {
+  Mobility = false,
+  SignalStrength@SensorA = -67
+}
+)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(node.applyConfig(parsed.config));
+  EXPECT_NE(node.modules().find("TopologyDiscoveryModule"), nullptr);
+  EXPECT_NE(node.modules().find("TrafficStatsModule"), nullptr);
+  EXPECT_EQ(node.kb().localBool("Mobility"), false);
+  EXPECT_EQ(node.kb().localInt("SignalStrength", "SensorA"), -67);
+}
+
+TEST_F(NodeFixture, ApplyConfigReportsUnknownModules) {
+  KalisNode node(simulator);
+  KalisConfig config;
+  config.modules.push_back(ModuleSpec{"ImaginaryModule", {}});
+  EXPECT_FALSE(node.applyConfig(config));
+}
+
+TEST_F(NodeFixture, StaticKnowledgeDrivesActivation) {
+  // Fig. 7's intent: a-priori knowledge ("mobility = false") preselects the
+  // right techniques at startup without any traffic.
+  KalisNode node(simulator);
+  node.useStandardLibrary();
+  const auto parsed =
+      parseConfig("modules = { } knowggets = { Mobility = false }");
+  ASSERT_TRUE(parsed.ok);
+  node.applyConfig(parsed.config);
+  node.start();
+  EXPECT_TRUE(node.modules().isActive("ReplicationStaticModule"));
+  EXPECT_FALSE(node.modules().isActive("ReplicationMobileModule"));
+}
+
+TEST_F(NodeFixture, TraditionalEmulationActivatesEverythingAndFreezesKb) {
+  KalisNode node(simulator);
+  node.useStandardLibrary();
+  node.emulateTraditionalIds();
+  node.start();
+  EXPECT_EQ(node.modules().activeCount(), node.modules().moduleCount());
+  node.kb().putBool("Multihop", true);
+  EXPECT_EQ(node.kb().size(), 0u);  // frozen
+}
+
+TEST_F(NodeFixture, TickLoopRunsPeriodically) {
+  KalisNode::Options options;
+  options.tickInterval = milliseconds(250);
+  KalisNode node(simulator, options);
+  node.useStandardLibrary();
+  node.start();
+  simulator.runUntil(seconds(2));
+  // No crash and the manager processed ticks; verified indirectly through
+  // the clock having advanced events.
+  EXPECT_GE(simulator.now(), seconds(2));
+}
+
+TEST_F(NodeFixture, CollectiveKnowggetsSyncToPeers) {
+  KalisNode k1(simulator, {.id = "K1", .dataStore = {}, .tickInterval = seconds(1),
+                           .peerSyncLatency = milliseconds(10)});
+  KalisNode k2(simulator, {.id = "K2", .dataStore = {}, .tickInterval = seconds(1),
+                           .peerSyncLatency = milliseconds(10)});
+  KalisNode::discoverPeers(k1, k2);
+  EXPECT_EQ(k1.peerCount(), 1u);
+
+  k1.kb().putBool("Mobility", true, "", /*collective=*/true);
+  simulator.runUntil(seconds(1));
+  // K2 now holds K1's knowgget, under K1's creator id.
+  EXPECT_EQ(k2.kb().raw("K1$Mobility"), "true");
+  EXPECT_EQ(k1.collectiveSent(), 1u);
+  EXPECT_EQ(k2.collectiveReceived(), 1u);
+  // Non-collective knowledge stays local.
+  k1.kb().putBool("Multihop", true);
+  simulator.runUntil(seconds(2));
+  EXPECT_EQ(k2.kb().raw("K1$Multihop"), std::nullopt);
+}
+
+TEST_F(NodeFixture, PeerSyncIsBidirectionalButAuthenticated) {
+  KalisNode k1(simulator);
+  KalisNode::Options o2;
+  o2.id = "K2";
+  KalisNode k2(simulator, o2);
+  KalisNode::discoverPeers(k1, k2);
+  k2.kb().putBool("Mobility", false, "", true);
+  simulator.runUntil(seconds(1));
+  EXPECT_EQ(k1.kb().raw("K2$Mobility"), "false");
+  // K2's update of its own knowgget propagates...
+  k2.kb().putBool("Mobility", true, "", true);
+  simulator.runUntil(seconds(2));
+  EXPECT_EQ(k1.kb().raw("K2$Mobility"), "true");
+}
+
+TEST_F(NodeFixture, DirectFeedDrivesModules) {
+  KalisNode node(simulator);
+  node.useStandardLibrary();
+  node.start();
+  net::Ieee802154Frame frame;
+  frame.src = net::Mac16{4};
+  net::CapturedPacket pkt;
+  pkt.medium = net::Medium::kIeee802154;
+  pkt.raw = frame.encode();
+  pkt.meta.timestamp = seconds(1);
+  node.feed(pkt);
+  EXPECT_EQ(node.dataStore().totalPackets(), 1u);
+  EXPECT_GT(node.modules().packetsProcessed(), 0u);
+}
+
+TEST_F(NodeFixture, MemoryAccountingIsLive) {
+  KalisNode node(simulator);
+  node.useStandardLibrary();
+  node.start();
+  const std::size_t before = node.memoryBytes();
+  for (int i = 0; i < 200; ++i) {
+    net::Ieee802154Frame frame;
+    frame.src = net::Mac16{static_cast<std::uint16_t>(i)};
+    frame.payload = Bytes(64, 0xaa);
+    net::CapturedPacket pkt;
+    pkt.medium = net::Medium::kIeee802154;
+    pkt.raw = frame.encode();
+    pkt.meta.timestamp = seconds(1) + i;
+    node.feed(pkt);
+  }
+  EXPECT_GT(node.memoryBytes(), before);
+}
+
+TEST_F(NodeFixture, WormholeCorrelationAcrossTwoNodes) {
+  // Unit-level §VI-D: K1 publishes drop fingerprints (blackhole side), K2
+  // publishes unexplained injections; after sync, K2's wormhole module
+  // correlates them.
+  KalisNode k1(simulator);
+  KalisNode::Options o2;
+  o2.id = "K2";
+  KalisNode k2(simulator, o2);
+  KalisNode::discoverPeers(k1, k2);
+
+  // K1's view: blackhole module evidence, hand-published for the unit test.
+  k1.kb().put(labels::kWormholeDrops, "abc123,def456", "0x0002",
+              /*collective=*/true);
+
+  // K2's view: wormhole module with local unexplained evidence.
+  k2.kb().putBool(labels::kMultihopWpan, true);
+  k2.kb().put(labels::kWormholeUnexplained, "def456,abc123,facade", "0x0004",
+              /*collective=*/true);
+
+  auto wormhole = std::make_unique<WormholeModule>();
+  WormholeModule* raw = wormhole.get();
+  k2.addModule(std::move(wormhole));
+  k2.start();
+  (void)raw;
+  simulator.runUntil(seconds(3));
+
+  bool sawWormhole = false;
+  for (const Alert& alert : k2.alerts()) {
+    if (alert.type == AttackType::kWormhole) {
+      sawWormhole = true;
+      EXPECT_EQ(alert.suspectEntities.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(sawWormhole);
+}
+
+}  // namespace
+}  // namespace kalis::ids

@@ -1,0 +1,276 @@
+// Evaluation-metric and taxonomy tests.
+#include <gtest/gtest.h>
+
+#include "kalis/module_registry.hpp"
+#include "kalis/taxonomy.hpp"
+#include "metrics/evaluation.hpp"
+
+namespace kalis {
+namespace {
+
+using ids::Alert;
+using ids::AttackType;
+namespace taxonomy = ids::taxonomy;
+
+Alert makeAlert(AttackType type, SimTime t, std::string victim,
+                std::vector<std::string> suspects = {}) {
+  Alert alert;
+  alert.type = type;
+  alert.time = t;
+  alert.victimEntity = std::move(victim);
+  alert.suspectEntities = std::move(suspects);
+  return alert;
+}
+
+// --- evaluate(): detection rate ---------------------------------------------------
+
+TEST(Evaluate, DetectionRequiresWindowAndEntityMatch) {
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kIcmpFlood, "10.0.0.2");
+  truth.add(seconds(100), AttackType::kIcmpFlood, "10.0.0.2");
+
+  const std::vector<Alert> alerts = {
+      makeAlert(AttackType::kIcmpFlood, seconds(12), "10.0.0.2")};
+  const auto result = metrics::evaluate(truth, alerts);
+  EXPECT_EQ(result.detectedInstances, 1u);  // second instance uncovered
+  EXPECT_DOUBLE_EQ(result.detectionRate(), 0.5);
+}
+
+TEST(Evaluate, WrongEntityDoesNotDetect) {
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kIcmpFlood, "10.0.0.2");
+  const std::vector<Alert> alerts = {
+      makeAlert(AttackType::kIcmpFlood, seconds(12), "10.0.0.9")};
+  EXPECT_EQ(metrics::evaluate(truth, alerts).detectedInstances, 0u);
+}
+
+TEST(Evaluate, SuspectMatchCountsAsDetection) {
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kBlackhole, "", "0x0003");
+  const std::vector<Alert> alerts = {
+      makeAlert(AttackType::kBlackhole, seconds(12), "", {"0x0003"})};
+  EXPECT_EQ(metrics::evaluate(truth, alerts).detectedInstances, 1u);
+}
+
+TEST(Evaluate, EarlySlackAllowsSlightlyEarlyAlerts) {
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kIcmpFlood, "v");
+  const std::vector<Alert> early = {
+      makeAlert(AttackType::kIcmpFlood, seconds(7), "v")};
+  EXPECT_EQ(metrics::evaluate(truth, early).detectedInstances, 1u);
+  const std::vector<Alert> tooEarly = {
+      makeAlert(AttackType::kIcmpFlood, seconds(2), "v")};
+  EXPECT_EQ(metrics::evaluate(truth, tooEarly).detectedInstances, 0u);
+}
+
+TEST(Evaluate, DifferentAlertTypeStillDetects) {
+  // Detection rate is about noticing the adverse event; classification is
+  // scored separately.
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kSinkhole, "", "0x0008");
+  const std::vector<Alert> alerts = {
+      makeAlert(AttackType::kBlackhole, seconds(12), "", {"0x0008"})};
+  const auto result = metrics::evaluate(truth, alerts);
+  EXPECT_EQ(result.detectedInstances, 1u);
+  EXPECT_EQ(result.correctAlerts, 0u);
+}
+
+// --- evaluate(): classification accuracy --------------------------------------------
+
+TEST(Evaluate, AccuracyCountsCorrectlyTypedAlerts) {
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kIcmpFlood, "v");
+  const std::vector<Alert> alerts = {
+      makeAlert(AttackType::kIcmpFlood, seconds(12), "v"),
+      makeAlert(AttackType::kSmurf, seconds(12), "v"),  // misclassification
+  };
+  const auto result = metrics::evaluate(truth, alerts);
+  EXPECT_EQ(result.correctAlerts, 1u);
+  EXPECT_DOUBLE_EQ(result.classificationAccuracy(), 0.5);
+}
+
+TEST(Evaluate, NoAlertsMeansVacuousAccuracy) {
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kIcmpFlood, "v");
+  EXPECT_DOUBLE_EQ(metrics::evaluate(truth, {}).classificationAccuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::evaluate(truth, {}).detectionRate(), 0.0);
+}
+
+TEST(Evaluate, LateCorrectAlertStillCorrect) {
+  // Sustained attacks keep producing alerts past the last logged instance.
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kBlackhole, "", "0x0003");
+  const std::vector<Alert> alerts = {
+      makeAlert(AttackType::kBlackhole, seconds(300), "", {"0x0003"})};
+  EXPECT_EQ(metrics::evaluate(truth, alerts).correctAlerts, 1u);
+}
+
+// --- countermeasures ---------------------------------------------------------------------
+
+TEST(Countermeasures, SplitsAttackersFromInnocents) {
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kIcmpFlood, "victim", "attacker");
+  const std::vector<Alert> alerts = {
+      makeAlert(AttackType::kIcmpFlood, seconds(12), "victim", {"attacker"}),
+      makeAlert(AttackType::kSmurf, seconds(12), "victim", {"victim"}),
+  };
+  const auto result = metrics::assessCountermeasures(truth, alerts);
+  ASSERT_EQ(result.revokedAttackers.size(), 1u);
+  EXPECT_EQ(result.revokedAttackers[0], "attacker");
+  ASSERT_EQ(result.revokedInnocents.size(), 1u);
+  EXPECT_EQ(result.revokedInnocents[0], "victim");
+  EXPECT_LT(result.effectiveness(1), 1.0);
+}
+
+TEST(Countermeasures, PerfectScoreForExactRevocation) {
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kIcmpFlood, "v", "attacker");
+  const std::vector<Alert> alerts = {
+      makeAlert(AttackType::kIcmpFlood, seconds(12), "v", {"attacker"})};
+  const auto result = metrics::assessCountermeasures(truth, alerts);
+  EXPECT_DOUBLE_EQ(result.effectiveness(1), 1.0);
+}
+
+TEST(Countermeasures, DuplicateSuspectsCountOnce) {
+  metrics::GroundTruth truth;
+  truth.add(seconds(10), AttackType::kIcmpFlood, "v", "attacker");
+  const std::vector<Alert> alerts = {
+      makeAlert(AttackType::kIcmpFlood, seconds(12), "v", {"attacker"}),
+      makeAlert(AttackType::kIcmpFlood, seconds(30), "v", {"attacker"})};
+  EXPECT_EQ(metrics::assessCountermeasures(truth, alerts).revokedAttackers.size(),
+            1u);
+}
+
+TEST(CpuProxy, ScalesLinearlraWithWork) {
+  EXPECT_DOUBLE_EQ(metrics::cpuPercent(0, seconds(10)), 0.0);
+  const double onePercentUnits = seconds(10) / 100.0 /
+                                 metrics::kMicrosecondsPerWorkUnit;
+  EXPECT_NEAR(metrics::cpuPercent(
+                  static_cast<std::uint64_t>(onePercentUnits), seconds(10)),
+              1.0, 0.01);
+  EXPECT_DOUBLE_EQ(metrics::cpuPercent(100, 0), 0.0);
+}
+
+// --- taxonomy: Table I ------------------------------------------------------------------------
+
+using taxonomy::EntityKind;
+using taxonomy::PatternKind;
+
+TEST(TaxonomyTableI, PaperCells) {
+  // Spot-check every nontrivial cell from Table I.
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kInternetService,
+                                    EntityKind::kInternetService),
+            PatternKind::kDenialOfService);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kInternetService, EntityKind::kHub),
+            PatternKind::kRemoteDot);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kInternetService, EntityKind::kSub),
+            PatternKind::kNotPossible);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kHub, EntityKind::kHub),
+            PatternKind::kControlDot);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kHub, EntityKind::kSub),
+            PatternKind::kDot);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kHub, EntityKind::kRouter),
+            PatternKind::kDenialOfRouting);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kSub, EntityKind::kSub),
+            PatternKind::kDot);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kSub, EntityKind::kRouter),
+            PatternKind::kNotPossible);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kRouter, EntityKind::kHub),
+            PatternKind::kControlDot);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kRouter, EntityKind::kRouter),
+            PatternKind::kDenialOfRouting);
+}
+
+TEST(TaxonomyTableI, SubsCannotReachInfrastructure) {
+  // "a sub would not typically be able to attack a router or an Internet
+  // service directly, as it lacks the communication hardware".
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kSub,
+                                    EntityKind::kInternetService),
+            PatternKind::kNotPossible);
+  EXPECT_EQ(taxonomy::attackPattern(EntityKind::kSub, EntityKind::kHub),
+            PatternKind::kNotPossible);
+}
+
+// --- taxonomy: Fig. 3 ----------------------------------------------------------------------------
+
+using taxonomy::Applicability;
+using taxonomy::Feature;
+
+TEST(TaxonomyFig3, PaperStatedRelationships) {
+  EXPECT_EQ(taxonomy::featureAttack(Feature::kSingleHop, AttackType::kSmurf),
+            Applicability::kImpossible);
+  EXPECT_EQ(taxonomy::featureAttack(Feature::kSingleHop,
+                                    AttackType::kSelectiveForwarding),
+            Applicability::kImpossible);
+  EXPECT_EQ(taxonomy::featureAttack(Feature::kStaticNetwork,
+                                    AttackType::kReplication),
+            Applicability::kTechniqueDependent);
+  EXPECT_EQ(taxonomy::featureAttack(Feature::kMobileNetwork,
+                                    AttackType::kReplication),
+            Applicability::kTechniqueDependent);
+  EXPECT_EQ(taxonomy::featureAttack(Feature::kSingleHop, AttackType::kSybil),
+            Applicability::kTechniqueDependent);
+  EXPECT_EQ(taxonomy::featureAttack(Feature::kCryptoDeployed,
+                                    AttackType::kDataAlteration),
+            Applicability::kImpossible);
+  EXPECT_EQ(taxonomy::featureAttack(Feature::kIcmpTraffic,
+                                    AttackType::kIcmpFlood),
+            Applicability::kPossible);
+}
+
+TEST(TaxonomyFig3, RuledOutBySingleHop) {
+  const auto ruledOut = taxonomy::ruledOutBy(Feature::kSingleHop);
+  const auto contains = [&](AttackType a) {
+    return std::find(ruledOut.begin(), ruledOut.end(), a) != ruledOut.end();
+  };
+  EXPECT_TRUE(contains(AttackType::kSmurf));
+  EXPECT_TRUE(contains(AttackType::kSelectiveForwarding));
+  EXPECT_TRUE(contains(AttackType::kBlackhole));
+  EXPECT_TRUE(contains(AttackType::kWormhole));
+  EXPECT_FALSE(contains(AttackType::kIcmpFlood));
+  EXPECT_FALSE(contains(AttackType::kSybil));
+}
+
+TEST(TaxonomyFig3, FeaturesFromKnowledgeBase) {
+  ids::KnowledgeBase kb("K1");
+  kb.putBool(ids::labels::kMultihop, true);
+  kb.putBool(ids::labels::kMobility, false);
+  kb.putBool("Protocols.TCP", true);
+  kb.putBool("LinkEncryption.P802154", true);
+  const auto features = taxonomy::featuresFrom(kb);
+  const auto has = [&](Feature f) {
+    return std::find(features.begin(), features.end(), f) != features.end();
+  };
+  EXPECT_TRUE(has(Feature::kMultiHop));
+  EXPECT_FALSE(has(Feature::kSingleHop));
+  EXPECT_TRUE(has(Feature::kStaticNetwork));
+  EXPECT_TRUE(has(Feature::kTcpTraffic));
+  EXPECT_TRUE(has(Feature::kCryptoDeployed));
+}
+
+TEST(TaxonomyFig3, ModulePredicatesAgreeWithMatrix) {
+  // Property: for every detection module specialized on attack A, if the KB
+  // establishes a feature that makes A impossible, required() must be false.
+  ids::KnowledgeBase kb("K1");
+  kb.putBool(ids::labels::kMultihop, false);
+  kb.putBool(ids::labels::kMultihopWpan, false);
+  kb.putBool(ids::labels::kMultihopWifi, false);
+  kb.putBool("Protocols.ICMP", true);
+  kb.putBool("Protocols.TCP", true);
+  kb.putBool("Protocols.CTP", true);
+  kb.putBool("Protocols.ZigBee", true);
+
+  for (const std::string& name : ids::ModuleRegistry::global().names()) {
+    auto module = ids::ModuleRegistry::global().create(name);
+    if (!module->isDetection()) continue;
+    auto* detection = static_cast<ids::DetectionModule*>(module.get());
+    if (taxonomy::featureAttack(Feature::kSingleHop, detection->attack()) ==
+        Applicability::kImpossible) {
+      EXPECT_FALSE(module->required(kb))
+          << name << " must deactivate on single-hop networks";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kalis

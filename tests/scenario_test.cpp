@@ -1,0 +1,181 @@
+// End-to-end integration tests: the paper's experiments as assertions.
+// These are the contract the benches print; if these hold, the reproduced
+// tables/figures keep their shape.
+#include <gtest/gtest.h>
+
+#include "scenarios/scenarios.hpp"
+
+namespace kalis::scenarios {
+namespace {
+
+TEST(IcmpFloodScenario, KalisPerfectDetectionAndClassification) {
+  const ScenarioResult result = runIcmpFlood(SystemKind::kKalis, 42);
+  EXPECT_DOUBLE_EQ(result.detectionRate(), 1.0);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+  // Countermeasure: only the attacker is revoked.
+  EXPECT_EQ(result.counter.revokedAttackers.size(), 1u);
+  EXPECT_TRUE(result.counter.revokedInnocents.empty());
+}
+
+TEST(IcmpFloodScenario, TraditionalIdsMisclassifiesAndHitsVictim) {
+  const ScenarioResult result = runIcmpFlood(SystemKind::kTraditionalIds, 42);
+  EXPECT_DOUBLE_EQ(result.detectionRate(), 1.0);  // symptoms noticed...
+  EXPECT_LT(result.accuracy(), 0.75);             // ...but half the alerts wrong
+  // §VI-B1's countermeasure disaster: the victim gets revoked.
+  EXPECT_FALSE(result.counter.revokedInnocents.empty());
+}
+
+TEST(IcmpFloodScenario, SnortDetectsButCannotDisambiguate) {
+  const ScenarioResult result = runIcmpFlood(SystemKind::kSnort, 42);
+  EXPECT_GT(result.detectionRate(), 0.9);
+  EXPECT_LT(result.accuracy(), 0.75);
+}
+
+TEST(IcmpFloodScenario, ResourceOrdering) {
+  const auto kalis = runIcmpFlood(SystemKind::kKalis, 42);
+  const auto trad = runIcmpFlood(SystemKind::kTraditionalIds, 42);
+  const auto snort = runIcmpFlood(SystemKind::kSnort, 42);
+  // Table II orderings: Kalis < Trad << Snort on both resources.
+  EXPECT_LT(kalis.cpuPercent, trad.cpuPercent);
+  EXPECT_LT(trad.cpuPercent, snort.cpuPercent);
+  EXPECT_LT(kalis.ramMb, trad.ramMb);
+  EXPECT_LT(trad.ramMb, snort.ramMb);
+}
+
+TEST(SmurfScenario, KalisNamesTheRealSpoofer) {
+  const ScenarioResult result = runSmurf(SystemKind::kKalis, 7);
+  EXPECT_GT(result.detectionRate(), 0.9);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+  EXPECT_GE(result.counter.revokedAttackers.size(), 1u);
+}
+
+TEST(SmurfScenario, SnortCannotSee802154) {
+  const ScenarioResult result = runSmurf(SystemKind::kSnort, 7);
+  EXPECT_TRUE(result.notApplicable);
+}
+
+TEST(SynFloodScenario, BothEnginesDetect) {
+  EXPECT_GT(runSynFlood(SystemKind::kKalis, 7).detectionRate(), 0.95);
+  EXPECT_GT(runSynFlood(SystemKind::kSnort, 7).detectionRate(), 0.9);
+}
+
+TEST(ForwardingScenarios, KalisSeparatesSelectiveFromBlackhole) {
+  const auto selective = runSelectiveForwarding(SystemKind::kKalis, 7);
+  EXPECT_GT(selective.detectionRate(), 0.9);
+  EXPECT_DOUBLE_EQ(selective.accuracy(), 1.0);
+  for (const auto& alert : selective.alerts) {
+    EXPECT_EQ(alert.type, ids::AttackType::kSelectiveForwarding);
+  }
+  const auto blackhole = runBlackhole(SystemKind::kKalis, 7);
+  EXPECT_GT(blackhole.detectionRate(), 0.9);
+  for (const auto& alert : blackhole.alerts) {
+    EXPECT_EQ(alert.type, ids::AttackType::kBlackhole);
+  }
+}
+
+TEST(ForwardingScenarios, TraditionalIdsFlagsTheBaseStation) {
+  // Without the CtpRoot knowgget, the all-modules baseline cannot know the
+  // root never forwards, and marks it a blackhole — the knowledge-less
+  // false positive.
+  const auto result = runSelectiveForwarding(SystemKind::kTraditionalIds, 7);
+  bool rootAccused = false;
+  for (const auto& alert : result.alerts) {
+    for (const auto& suspect : alert.suspectEntities) {
+      if (suspect == "0x0001") rootAccused = true;
+    }
+  }
+  EXPECT_TRUE(rootAccused);
+  EXPECT_LT(result.accuracy(), runSelectiveForwarding(SystemKind::kKalis, 7)
+                                   .accuracy());
+}
+
+TEST(ReplicationScenario, KalisBeatsStaticModuleChoice) {
+  double kalisDr = 0;
+  double tradDr = 0;
+  constexpr int kRuns = 6;
+  for (int run = 0; run < kRuns; ++run) {
+    kalisDr += runReplication(SystemKind::kKalis, 1000 + run).detectionRate();
+    tradDr +=
+        runReplication(SystemKind::kTraditionalIds, 1000 + run).detectionRate();
+  }
+  EXPECT_GT(kalisDr / kRuns, 0.75);
+  EXPECT_LT(tradDr / kRuns, kalisDr / kRuns);
+}
+
+TEST(ReplicationScenario, SnortNotApplicable) {
+  EXPECT_TRUE(runReplication(SystemKind::kSnort, 1000).notApplicable);
+}
+
+TEST(SybilScenario, KnowledgeSelectsRightTechnique) {
+  const auto kalis = runSybil(SystemKind::kKalis, 100);
+  EXPECT_DOUBLE_EQ(kalis.detectionRate(), 1.0);
+  // Trad with the wrong (single-hop) module library entry: nothing.
+  const auto tradWrong = runSybil(SystemKind::kTraditionalIds, 100);  // even seed
+  EXPECT_LT(tradWrong.detectionRate(), kalis.detectionRate());
+}
+
+TEST(SinkholeScenario, OnlyKnowledgeOfTheRootExposesIt) {
+  const auto kalis = runSinkhole(SystemKind::kKalis, 100);
+  EXPECT_GT(kalis.detectionRate(), 0.8);
+  const auto trad = runSinkhole(SystemKind::kTraditionalIds, 100);
+  EXPECT_DOUBLE_EQ(trad.detectionRate(), 0.0);
+}
+
+TEST(WormholeScenario, CollaborationUpgradesBlackholeToWormhole) {
+  const auto with = runWormhole(7000, /*collaborative=*/true);
+  EXPECT_TRUE(with.wormholeClassified);
+  EXPECT_GT(with.collectiveExchanged, 0u);
+
+  const auto without = runWormhole(7000, /*collaborative=*/false);
+  EXPECT_FALSE(without.wormholeClassified);
+  EXPECT_TRUE(without.blackholeOnly);
+  EXPECT_EQ(without.collectiveExchanged, 0u);
+}
+
+TEST(ReactivityScenario, ColdStartStillCatchesEverything) {
+  const auto result = runReactivity(500);
+  EXPECT_EQ(result.detectionModulesActiveAtStart, 0u);
+  EXPECT_TRUE(result.selectiveForwardingActivated);
+  EXPECT_LT(result.activationTime, seconds(10));
+  EXPECT_DOUBLE_EQ(result.detectionRate, 1.0);
+}
+
+TEST(LiveCountermeasure, KalisHealsTheNetworkTradCollapsesIt) {
+  const auto live = runLiveCountermeasure(1);
+  // Unmitigated: the honest relay still delivers, the leaf does not.
+  EXPECT_NEAR(live.deliveryNoResponse, 0.5, 0.1);
+  // Kalis revokes only the attacker; the tree heals through the honest
+  // relay and full delivery resumes.
+  EXPECT_GT(live.deliveryKalis, 0.9);
+  ASSERT_EQ(live.kalisRevoked.size(), 1u);
+  EXPECT_EQ(live.kalisRevoked[0], "0x0002");
+  // The traditional baseline also revokes the base station: total collapse.
+  EXPECT_LT(live.deliveryTraditional, 0.05);
+  const bool rootRevoked =
+      std::find(live.tradRevoked.begin(), live.tradRevoked.end(), "0x0001") !=
+      live.tradRevoked.end();
+  EXPECT_TRUE(rootRevoked);
+}
+
+TEST(Determinism, SameSeedSameResult) {
+  const auto a = runIcmpFlood(SystemKind::kKalis, 11);
+  const auto b = runIcmpFlood(SystemKind::kKalis, 11);
+  EXPECT_EQ(a.alerts.size(), b.alerts.size());
+  EXPECT_EQ(a.packetsSniffed, b.packetsSniffed);
+  EXPECT_DOUBLE_EQ(a.cpuPercent, b.cpuPercent);
+}
+
+TEST(Fig8Shape, KalisNeverWorseThanTraditional) {
+  const auto kalis = runAllScenarios(SystemKind::kKalis, 100);
+  const auto trad = runAllScenarios(SystemKind::kTraditionalIds, 100);
+  ASSERT_EQ(kalis.size(), trad.size());
+  for (std::size_t i = 0; i < kalis.size(); ++i) {
+    EXPECT_GE(kalis[i].detectionRate() + 1e-9, trad[i].detectionRate())
+        << scenarioNames()[i];
+    EXPECT_GE(kalis[i].accuracy() + 1e-9, trad[i].accuracy())
+        << scenarioNames()[i];
+  }
+}
+
+}  // namespace
+}  // namespace kalis::scenarios

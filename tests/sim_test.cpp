@@ -1,0 +1,321 @@
+// Simulator substrate tests: event ordering, propagation physics, mobility
+// models, and the World's delivery semantics (range, address filtering,
+// promiscuous sniffing, revocation, channels).
+#include <gtest/gtest.h>
+
+#include "sim/mobility.hpp"
+#include "sim/propagation.hpp"
+#include "sim/simulator.hpp"
+#include "sim/world.hpp"
+
+namespace kalis::sim {
+namespace {
+
+// --- Simulator ----------------------------------------------------------------
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator simulator(1);
+  std::vector<int> order;
+  simulator.at(seconds(3), [&] { order.push_back(3); });
+  simulator.at(seconds(1), [&] { order.push_back(1); });
+  simulator.at(seconds(2), [&] { order.push_back(2); });
+  simulator.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator simulator(1);
+  std::vector<int> order;
+  simulator.at(seconds(1), [&] { order.push_back(1); });
+  simulator.at(seconds(1), [&] { order.push_back(2); });
+  simulator.at(seconds(1), [&] { order.push_back(3); });
+  simulator.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockExactly) {
+  Simulator simulator(1);
+  simulator.runUntil(seconds(7));
+  EXPECT_EQ(simulator.now(), seconds(7));
+}
+
+TEST(Simulator, ScheduledEventsCanReschedule) {
+  Simulator simulator(1);
+  int ticks = 0;
+  std::function<void()> loop = [&] {
+    ++ticks;
+    if (ticks < 5) simulator.schedule(seconds(1), loop);
+  };
+  simulator.schedule(seconds(1), loop);
+  simulator.runUntil(seconds(10));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(Simulator, EventDuringStepSeesCurrentTime) {
+  Simulator simulator(1);
+  SimTime seen = 0;
+  simulator.at(milliseconds(1500), [&] { seen = simulator.now(); });
+  simulator.runAll();
+  EXPECT_EQ(seen, milliseconds(1500));
+}
+
+// --- propagation -----------------------------------------------------------------
+
+TEST(Propagation, RssiDecreasesWithDistance) {
+  PropagationModel model;
+  model.shadowingSigmaDb = 0.0;
+  model.fadingSigmaDb = 0.0;
+  Rng rng(1);
+  const double near = model.rssiDbm(0.0, 2.0, 1, 2, rng);
+  const double far = model.rssiDbm(0.0, 20.0, 1, 2, rng);
+  EXPECT_GT(near, far);
+  // Log-distance: 10x distance costs 10*n dB.
+  EXPECT_NEAR(near - far, 10.0 * model.pathLossExponent, 0.01);
+}
+
+TEST(Propagation, LinkShadowingDeterministicPerPair) {
+  PropagationModel model;
+  EXPECT_DOUBLE_EQ(model.linkShadowDb(3, 7), model.linkShadowDb(3, 7));
+  EXPECT_NE(model.linkShadowDb(3, 7), model.linkShadowDb(7, 3));
+}
+
+TEST(Propagation, MinDistanceClamped) {
+  PropagationModel model;
+  model.shadowingSigmaDb = 0.0;
+  model.fadingSigmaDb = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(model.rssiDbm(0.0, 0.0, 1, 2, rng),
+                   model.rssiDbm(0.0, model.minDistanceM, 1, 2, rng));
+}
+
+// --- mobility --------------------------------------------------------------------
+
+TEST(Mobility, StaticNeverMoves) {
+  StaticMobility model({3.0, 4.0});
+  EXPECT_EQ(model.positionAt(0), (Vec2{3.0, 4.0}));
+  EXPECT_EQ(model.positionAt(seconds(1000)), (Vec2{3.0, 4.0}));
+}
+
+TEST(Mobility, LinearPathInterpolates) {
+  LinearPath model({0, 0}, {10, 0}, seconds(10), 1.0);
+  EXPECT_EQ(model.positionAt(seconds(5)), (Vec2{0, 0}));
+  EXPECT_NEAR(model.positionAt(seconds(15)).x, 5.0, 1e-9);
+  EXPECT_EQ(model.positionAt(seconds(100)), (Vec2{10, 0}));
+}
+
+TEST(Mobility, RandomWaypointStaysInArea) {
+  RandomWaypoint::Params params;
+  params.areaMin = {0, 0};
+  params.areaMax = {10, 10};
+  RandomWaypoint model({5, 5}, params, Rng(3));
+  for (SimTime t = 0; t < seconds(300); t += seconds(1)) {
+    const Vec2 p = model.positionAt(t);
+    EXPECT_GE(p.x, -1e-9);
+    EXPECT_LE(p.x, 10.0 + 1e-9);
+    EXPECT_GE(p.y, -1e-9);
+    EXPECT_LE(p.y, 10.0 + 1e-9);
+  }
+}
+
+TEST(Mobility, RandomWaypointRespectsStartTime) {
+  RandomWaypoint::Params params;
+  RandomWaypoint model({5, 5}, params, Rng(3), seconds(60));
+  EXPECT_EQ(model.positionAt(seconds(0)), (Vec2{5, 5}));
+  EXPECT_EQ(model.positionAt(seconds(59)), (Vec2{5, 5}));
+}
+
+TEST(Mobility, RandomWaypointActuallyMoves) {
+  RandomWaypoint::Params params;
+  params.minSpeedMps = 1.0;
+  params.maxSpeedMps = 1.0;
+  RandomWaypoint model({5, 5}, params, Rng(3));
+  bool moved = false;
+  for (SimTime t = 0; t < seconds(60); t += seconds(5)) {
+    if (distance(model.positionAt(t), {5, 5}) > 1.0) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+// --- World delivery ------------------------------------------------------------------
+
+struct Recorder : Behavior {
+  std::vector<net::CapturedPacket> frames;
+  void onFrame(NodeHandle&, const net::CapturedPacket& pkt,
+               const net::Dissection&) override {
+    frames.push_back(pkt);
+  }
+};
+
+net::Ieee802154Frame makeFrame(net::Mac16 src, net::Mac16 dst) {
+  net::Ieee802154Frame frame;
+  frame.src = src;
+  frame.dst = dst;
+  frame.payload = bytesOf("x");
+  return frame;
+}
+
+struct WorldFixture : ::testing::Test {
+  Simulator simulator{7};
+  World world{simulator};
+
+  NodeId addRadioNode(const char* name, Vec2 pos) {
+    const NodeId id = world.addNode(name, NodeRole::kSub, pos);
+    world.enableRadio(id, net::Medium::kIeee802154);
+    return id;
+  }
+};
+
+TEST_F(WorldFixture, UnicastReachesOnlyAddressee) {
+  const NodeId a = addRadioNode("a", {0, 0});
+  const NodeId b = addRadioNode("b", {5, 0});
+  const NodeId c = addRadioNode("c", {0, 5});
+  auto recB = std::make_unique<Recorder>();
+  auto recC = std::make_unique<Recorder>();
+  Recorder* rawB = recB.get();
+  Recorder* rawC = recC.get();
+  world.setBehavior(b, std::move(recB));
+  world.setBehavior(c, std::move(recC));
+  world.start();
+  simulator.runUntil(milliseconds(1));
+  world.send(a, net::Medium::kIeee802154,
+             makeFrame(world.mac16Of(a), world.mac16Of(b)).encode());
+  simulator.runUntil(simulator.now() + seconds(1));
+  EXPECT_EQ(rawB->frames.size(), 1u);
+  EXPECT_TRUE(rawC->frames.empty());  // heard it, but radio filtered it
+}
+
+TEST_F(WorldFixture, BroadcastReachesEveryoneInRange) {
+  const NodeId a = addRadioNode("a", {0, 0});
+  const NodeId b = addRadioNode("b", {5, 0});
+  const NodeId c = addRadioNode("c", {0, 5});
+  auto recB = std::make_unique<Recorder>();
+  auto recC = std::make_unique<Recorder>();
+  Recorder* rawB = recB.get();
+  Recorder* rawC = recC.get();
+  world.setBehavior(b, std::move(recB));
+  world.setBehavior(c, std::move(recC));
+  world.start();
+  simulator.runUntil(milliseconds(1));
+  world.send(a, net::Medium::kIeee802154,
+             makeFrame(world.mac16Of(a), net::Mac16{net::Mac16::kBroadcast})
+                 .encode());
+  simulator.runUntil(simulator.now() + seconds(1));
+  EXPECT_EQ(rawB->frames.size(), 1u);
+  EXPECT_EQ(rawC->frames.size(), 1u);
+}
+
+TEST_F(WorldFixture, OutOfRangeNotDelivered) {
+  const NodeId a = addRadioNode("a", {0, 0});
+  const NodeId b = world.addNode("b", NodeRole::kSub, {10000, 0});
+  world.enableRadio(b, net::Medium::kIeee802154);
+  auto rec = std::make_unique<Recorder>();
+  Recorder* raw = rec.get();
+  world.setBehavior(b, std::move(rec));
+  world.start();
+  world.send(a, net::Medium::kIeee802154,
+             makeFrame(world.mac16Of(a), world.mac16Of(b)).encode());
+  simulator.runUntil(simulator.now() + seconds(1));
+  EXPECT_TRUE(raw->frames.empty());
+}
+
+TEST_F(WorldFixture, SniffersSeeForeignUnicast) {
+  const NodeId a = addRadioNode("a", {0, 0});
+  const NodeId b = addRadioNode("b", {5, 0});
+  const NodeId ids = addRadioNode("ids", {2, 2});
+  std::vector<net::CapturedPacket> sniffed;
+  world.addSniffer(ids, net::Medium::kIeee802154,
+                   [&](const net::CapturedPacket& pkt) { sniffed.push_back(pkt); });
+  world.start();
+  world.send(a, net::Medium::kIeee802154,
+             makeFrame(world.mac16Of(a), world.mac16Of(b)).encode());
+  simulator.runUntil(simulator.now() + seconds(1));
+  ASSERT_EQ(sniffed.size(), 1u);
+  EXPECT_EQ(sniffed[0].meta.capturedBy, ids);
+  EXPECT_LT(sniffed[0].meta.rssiDbm, 0.0);
+  EXPECT_GT(sniffed[0].meta.timestamp, 0u);  // airtime elapsed
+}
+
+TEST_F(WorldFixture, RevokedNodesNeitherSendNorReceive) {
+  const NodeId a = addRadioNode("a", {0, 0});
+  const NodeId b = addRadioNode("b", {5, 0});
+  auto rec = std::make_unique<Recorder>();
+  Recorder* raw = rec.get();
+  world.setBehavior(b, std::move(rec));
+  world.start();
+
+  world.revoke(b, seconds(10));
+  world.send(a, net::Medium::kIeee802154,
+             makeFrame(world.mac16Of(a), world.mac16Of(b)).encode());
+  simulator.runUntil(simulator.now() + seconds(1));
+  EXPECT_TRUE(raw->frames.empty());
+  EXPECT_TRUE(world.isRevoked(b));
+
+  // After expiry the node participates again.
+  simulator.runUntil(seconds(11));
+  EXPECT_FALSE(world.isRevoked(b));
+  world.send(a, net::Medium::kIeee802154,
+             makeFrame(world.mac16Of(a), world.mac16Of(b)).encode());
+  simulator.runUntil(simulator.now() + seconds(1));
+  EXPECT_EQ(raw->frames.size(), 1u);
+}
+
+TEST_F(WorldFixture, ChannelsIsolateTraffic) {
+  const NodeId a = world.addNode("a", NodeRole::kSub, {0, 0});
+  world.enableRadio(a, net::Medium::kIeee802154,
+                    RadioConfig{0.0, -90.0, /*channel=*/11});
+  const NodeId b = world.addNode("b", NodeRole::kSub, {5, 0});
+  world.enableRadio(b, net::Medium::kIeee802154,
+                    RadioConfig{0.0, -90.0, /*channel=*/26});
+  auto rec = std::make_unique<Recorder>();
+  Recorder* raw = rec.get();
+  world.setBehavior(b, std::move(rec));
+  world.start();
+  world.send(a, net::Medium::kIeee802154,
+             makeFrame(world.mac16Of(a), world.mac16Of(b)).encode());
+  simulator.runUntil(simulator.now() + seconds(1));
+  EXPECT_TRUE(raw->frames.empty());
+}
+
+TEST_F(WorldFixture, ClonedMac16ReceivesClonesTraffic) {
+  const NodeId a = addRadioNode("a", {0, 0});
+  const NodeId b = addRadioNode("b", {5, 0});
+  const NodeId clone = addRadioNode("clone", {0, 5});
+  world.setMac16(clone, world.mac16Of(b));
+  auto rec = std::make_unique<Recorder>();
+  Recorder* raw = rec.get();
+  world.setBehavior(clone, std::move(rec));
+  world.start();
+  world.send(a, net::Medium::kIeee802154,
+             makeFrame(world.mac16Of(a), world.mac16Of(b)).encode());
+  simulator.runUntil(simulator.now() + seconds(1));
+  EXPECT_EQ(raw->frames.size(), 1u);  // the replica hears its stolen identity
+}
+
+TEST_F(WorldFixture, TxDurationScalesWithSizeAndMedium) {
+  EXPECT_GT(txDuration(net::Medium::kIeee802154, 100),
+            txDuration(net::Medium::kIeee802154, 10));
+  EXPECT_GT(txDuration(net::Medium::kIeee802154, 100),
+            txDuration(net::Medium::kWifi, 100));
+}
+
+TEST_F(WorldFixture, AddressDerivation) {
+  const NodeId a = world.addNode("a", NodeRole::kSub, {0, 0});
+  const NodeId inet = world.addNode("cloud", NodeRole::kInternetHost, {0, 0});
+  EXPECT_EQ(world.mac16Of(a).value, a + 1);
+  EXPECT_EQ((world.ipv4Of(a).value >> 24), 10u);
+  EXPECT_EQ((world.ipv4Of(inet).value >> 24), 198u);
+  EXPECT_EQ(world.ipv6Of(a).embeddedShort(), world.mac16Of(a));
+  EXPECT_EQ(world.nodeByMac16(world.mac16Of(a)), a);
+}
+
+TEST_F(WorldFixture, MobilityTickUpdatesPositions) {
+  const NodeId a = world.addNode("a", NodeRole::kSub, {0, 0});
+  world.setMobility(a, std::make_unique<LinearPath>(Vec2{0, 0}, Vec2{10, 0},
+                                                    0, 1.0));
+  world.start();
+  simulator.runUntil(seconds(5));
+  EXPECT_NEAR(world.positionOf(a).x, 5.0, 0.5);
+}
+
+}  // namespace
+}  // namespace kalis::sim
