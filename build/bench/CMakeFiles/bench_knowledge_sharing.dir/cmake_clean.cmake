@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knowledge_sharing.dir/bench_knowledge_sharing.cpp.o"
+  "CMakeFiles/bench_knowledge_sharing.dir/bench_knowledge_sharing.cpp.o.d"
+  "bench_knowledge_sharing"
+  "bench_knowledge_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knowledge_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

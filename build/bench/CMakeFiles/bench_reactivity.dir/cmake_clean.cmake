@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reactivity.dir/bench_reactivity.cpp.o"
+  "CMakeFiles/bench_reactivity.dir/bench_reactivity.cpp.o.d"
+  "bench_reactivity"
+  "bench_reactivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_wormhole.dir/collaborative_wormhole.cpp.o"
+  "CMakeFiles/collaborative_wormhole.dir/collaborative_wormhole.cpp.o.d"
+  "collaborative_wormhole"
+  "collaborative_wormhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_profile.dir/constrained_profile.cpp.o"
+  "CMakeFiles/constrained_profile.dir/constrained_profile.cpp.o.d"
+  "constrained_profile"
+  "constrained_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

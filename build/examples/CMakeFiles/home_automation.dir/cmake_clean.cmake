@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_automation.dir/home_automation.cpp.o"
+  "CMakeFiles/home_automation.dir/home_automation.cpp.o.d"
+  "home_automation"
+  "home_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_firewall.dir/smart_firewall.cpp.o"
+  "CMakeFiles/smart_firewall.dir/smart_firewall.cpp.o.d"
+  "smart_firewall"
+  "smart_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalis_attacks.dir/dos_attacks.cpp.o"
+  "CMakeFiles/kalis_attacks.dir/dos_attacks.cpp.o.d"
+  "CMakeFiles/kalis_attacks.dir/forwarding_attacks.cpp.o"
+  "CMakeFiles/kalis_attacks.dir/forwarding_attacks.cpp.o.d"
+  "CMakeFiles/kalis_attacks.dir/sixlowpan_attacks.cpp.o"
+  "CMakeFiles/kalis_attacks.dir/sixlowpan_attacks.cpp.o.d"
+  "CMakeFiles/kalis_attacks.dir/wpan_attacks.cpp.o"
+  "CMakeFiles/kalis_attacks.dir/wpan_attacks.cpp.o.d"
+  "libkalis_attacks.a"
+  "libkalis_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalis_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

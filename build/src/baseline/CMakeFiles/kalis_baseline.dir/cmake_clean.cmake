@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalis_baseline.dir/snort_engine.cpp.o"
+  "CMakeFiles/kalis_baseline.dir/snort_engine.cpp.o.d"
+  "CMakeFiles/kalis_baseline.dir/snort_rule.cpp.o"
+  "CMakeFiles/kalis_baseline.dir/snort_rule.cpp.o.d"
+  "libkalis_baseline.a"
+  "libkalis_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalis_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kalis/alert.cpp" "src/kalis/CMakeFiles/kalis_core.dir/alert.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/alert.cpp.o.d"
+  "/root/repo/src/kalis/config.cpp" "src/kalis/CMakeFiles/kalis_core.dir/config.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/config.cpp.o.d"
+  "/root/repo/src/kalis/countermeasures.cpp" "src/kalis/CMakeFiles/kalis_core.dir/countermeasures.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/countermeasures.cpp.o.d"
+  "/root/repo/src/kalis/data_store.cpp" "src/kalis/CMakeFiles/kalis_core.dir/data_store.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/data_store.cpp.o.d"
+  "/root/repo/src/kalis/kalis_node.cpp" "src/kalis/CMakeFiles/kalis_core.dir/kalis_node.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/kalis_node.cpp.o.d"
+  "/root/repo/src/kalis/knowledge.cpp" "src/kalis/CMakeFiles/kalis_core.dir/knowledge.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/knowledge.cpp.o.d"
+  "/root/repo/src/kalis/module_manager.cpp" "src/kalis/CMakeFiles/kalis_core.dir/module_manager.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/module_manager.cpp.o.d"
+  "/root/repo/src/kalis/module_registry.cpp" "src/kalis/CMakeFiles/kalis_core.dir/module_registry.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/module_registry.cpp.o.d"
+  "/root/repo/src/kalis/modules/anomaly.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/anomaly.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/anomaly.cpp.o.d"
+  "/root/repo/src/kalis/modules/data_alteration.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/data_alteration.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/data_alteration.cpp.o.d"
+  "/root/repo/src/kalis/modules/deauth_flood.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/deauth_flood.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/deauth_flood.cpp.o.d"
+  "/root/repo/src/kalis/modules/device_classifier.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/device_classifier.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/device_classifier.cpp.o.d"
+  "/root/repo/src/kalis/modules/encryption_detection.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/encryption_detection.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/encryption_detection.cpp.o.d"
+  "/root/repo/src/kalis/modules/forwarding_watchdog.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/forwarding_watchdog.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/forwarding_watchdog.cpp.o.d"
+  "/root/repo/src/kalis/modules/hello_flood.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/hello_flood.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/hello_flood.cpp.o.d"
+  "/root/repo/src/kalis/modules/icmp_flood.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/icmp_flood.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/icmp_flood.cpp.o.d"
+  "/root/repo/src/kalis/modules/mobility_awareness.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/mobility_awareness.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/mobility_awareness.cpp.o.d"
+  "/root/repo/src/kalis/modules/replication.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/replication.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/replication.cpp.o.d"
+  "/root/repo/src/kalis/modules/selective_forwarding.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/selective_forwarding.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/selective_forwarding.cpp.o.d"
+  "/root/repo/src/kalis/modules/sinkhole.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/sinkhole.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/sinkhole.cpp.o.d"
+  "/root/repo/src/kalis/modules/smurf.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/smurf.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/smurf.cpp.o.d"
+  "/root/repo/src/kalis/modules/sybil.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/sybil.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/sybil.cpp.o.d"
+  "/root/repo/src/kalis/modules/syn_flood.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/syn_flood.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/syn_flood.cpp.o.d"
+  "/root/repo/src/kalis/modules/topology_discovery.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/topology_discovery.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/topology_discovery.cpp.o.d"
+  "/root/repo/src/kalis/modules/traffic_stats.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/traffic_stats.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/traffic_stats.cpp.o.d"
+  "/root/repo/src/kalis/modules/wormhole.cpp" "src/kalis/CMakeFiles/kalis_core.dir/modules/wormhole.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/modules/wormhole.cpp.o.d"
+  "/root/repo/src/kalis/profile.cpp" "src/kalis/CMakeFiles/kalis_core.dir/profile.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/profile.cpp.o.d"
+  "/root/repo/src/kalis/siem_export.cpp" "src/kalis/CMakeFiles/kalis_core.dir/siem_export.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/siem_export.cpp.o.d"
+  "/root/repo/src/kalis/taxonomy.cpp" "src/kalis/CMakeFiles/kalis_core.dir/taxonomy.cpp.o" "gcc" "src/kalis/CMakeFiles/kalis_core.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/kalis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kalis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/kalis_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kalis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalis_metrics.dir/evaluation.cpp.o"
+  "CMakeFiles/kalis_metrics.dir/evaluation.cpp.o.d"
+  "libkalis_metrics.a"
+  "libkalis_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalis_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

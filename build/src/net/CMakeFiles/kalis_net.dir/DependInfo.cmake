@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/kalis_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/ble.cpp" "src/net/CMakeFiles/kalis_net.dir/ble.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/ble.cpp.o.d"
+  "/root/repo/src/net/ctp.cpp" "src/net/CMakeFiles/kalis_net.dir/ctp.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/ctp.cpp.o.d"
+  "/root/repo/src/net/ieee80211.cpp" "src/net/CMakeFiles/kalis_net.dir/ieee80211.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/ieee80211.cpp.o.d"
+  "/root/repo/src/net/ieee802154.cpp" "src/net/CMakeFiles/kalis_net.dir/ieee802154.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/ieee802154.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/kalis_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/ipv6.cpp" "src/net/CMakeFiles/kalis_net.dir/ipv6.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/ipv6.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/kalis_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/kalis_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/transport.cpp.o.d"
+  "/root/repo/src/net/zigbee.cpp" "src/net/CMakeFiles/kalis_net.dir/zigbee.cpp.o" "gcc" "src/net/CMakeFiles/kalis_net.dir/zigbee.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kalis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

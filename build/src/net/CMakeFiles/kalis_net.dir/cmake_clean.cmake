@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalis_net.dir/addr.cpp.o"
+  "CMakeFiles/kalis_net.dir/addr.cpp.o.d"
+  "CMakeFiles/kalis_net.dir/ble.cpp.o"
+  "CMakeFiles/kalis_net.dir/ble.cpp.o.d"
+  "CMakeFiles/kalis_net.dir/ctp.cpp.o"
+  "CMakeFiles/kalis_net.dir/ctp.cpp.o.d"
+  "CMakeFiles/kalis_net.dir/ieee80211.cpp.o"
+  "CMakeFiles/kalis_net.dir/ieee80211.cpp.o.d"
+  "CMakeFiles/kalis_net.dir/ieee802154.cpp.o"
+  "CMakeFiles/kalis_net.dir/ieee802154.cpp.o.d"
+  "CMakeFiles/kalis_net.dir/ipv4.cpp.o"
+  "CMakeFiles/kalis_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/kalis_net.dir/ipv6.cpp.o"
+  "CMakeFiles/kalis_net.dir/ipv6.cpp.o.d"
+  "CMakeFiles/kalis_net.dir/packet.cpp.o"
+  "CMakeFiles/kalis_net.dir/packet.cpp.o.d"
+  "CMakeFiles/kalis_net.dir/transport.cpp.o"
+  "CMakeFiles/kalis_net.dir/transport.cpp.o.d"
+  "CMakeFiles/kalis_net.dir/zigbee.cpp.o"
+  "CMakeFiles/kalis_net.dir/zigbee.cpp.o.d"
+  "libkalis_net.a"
+  "libkalis_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalis_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenarios/common.cpp" "src/scenarios/CMakeFiles/kalis_scenarios.dir/common.cpp.o" "gcc" "src/scenarios/CMakeFiles/kalis_scenarios.dir/common.cpp.o.d"
+  "/root/repo/src/scenarios/environments.cpp" "src/scenarios/CMakeFiles/kalis_scenarios.dir/environments.cpp.o" "gcc" "src/scenarios/CMakeFiles/kalis_scenarios.dir/environments.cpp.o.d"
+  "/root/repo/src/scenarios/scenarios_dos.cpp" "src/scenarios/CMakeFiles/kalis_scenarios.dir/scenarios_dos.cpp.o" "gcc" "src/scenarios/CMakeFiles/kalis_scenarios.dir/scenarios_dos.cpp.o.d"
+  "/root/repo/src/scenarios/scenarios_special.cpp" "src/scenarios/CMakeFiles/kalis_scenarios.dir/scenarios_special.cpp.o" "gcc" "src/scenarios/CMakeFiles/kalis_scenarios.dir/scenarios_special.cpp.o.d"
+  "/root/repo/src/scenarios/scenarios_wpan.cpp" "src/scenarios/CMakeFiles/kalis_scenarios.dir/scenarios_wpan.cpp.o" "gcc" "src/scenarios/CMakeFiles/kalis_scenarios.dir/scenarios_wpan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/kalis_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/kalis_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/kalis/CMakeFiles/kalis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/kalis_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kalis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/kalis_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kalis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kalis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalis_scenarios.dir/common.cpp.o"
+  "CMakeFiles/kalis_scenarios.dir/common.cpp.o.d"
+  "CMakeFiles/kalis_scenarios.dir/environments.cpp.o"
+  "CMakeFiles/kalis_scenarios.dir/environments.cpp.o.d"
+  "CMakeFiles/kalis_scenarios.dir/scenarios_dos.cpp.o"
+  "CMakeFiles/kalis_scenarios.dir/scenarios_dos.cpp.o.d"
+  "CMakeFiles/kalis_scenarios.dir/scenarios_special.cpp.o"
+  "CMakeFiles/kalis_scenarios.dir/scenarios_special.cpp.o.d"
+  "CMakeFiles/kalis_scenarios.dir/scenarios_wpan.cpp.o"
+  "CMakeFiles/kalis_scenarios.dir/scenarios_wpan.cpp.o.d"
+  "libkalis_scenarios.a"
+  "libkalis_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalis_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ble_device.cpp" "src/sim/CMakeFiles/kalis_sim.dir/ble_device.cpp.o" "gcc" "src/sim/CMakeFiles/kalis_sim.dir/ble_device.cpp.o.d"
+  "/root/repo/src/sim/ctp_agent.cpp" "src/sim/CMakeFiles/kalis_sim.dir/ctp_agent.cpp.o" "gcc" "src/sim/CMakeFiles/kalis_sim.dir/ctp_agent.cpp.o.d"
+  "/root/repo/src/sim/ip_host.cpp" "src/sim/CMakeFiles/kalis_sim.dir/ip_host.cpp.o" "gcc" "src/sim/CMakeFiles/kalis_sim.dir/ip_host.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/sim/CMakeFiles/kalis_sim.dir/mobility.cpp.o" "gcc" "src/sim/CMakeFiles/kalis_sim.dir/mobility.cpp.o.d"
+  "/root/repo/src/sim/propagation.cpp" "src/sim/CMakeFiles/kalis_sim.dir/propagation.cpp.o" "gcc" "src/sim/CMakeFiles/kalis_sim.dir/propagation.cpp.o.d"
+  "/root/repo/src/sim/sixlowpan_agent.cpp" "src/sim/CMakeFiles/kalis_sim.dir/sixlowpan_agent.cpp.o" "gcc" "src/sim/CMakeFiles/kalis_sim.dir/sixlowpan_agent.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/kalis_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/kalis_sim.dir/world.cpp.o.d"
+  "/root/repo/src/sim/zigbee_agent.cpp" "src/sim/CMakeFiles/kalis_sim.dir/zigbee_agent.cpp.o" "gcc" "src/sim/CMakeFiles/kalis_sim.dir/zigbee_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/kalis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kalis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

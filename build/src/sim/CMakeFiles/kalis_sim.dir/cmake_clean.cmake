@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalis_sim.dir/ble_device.cpp.o"
+  "CMakeFiles/kalis_sim.dir/ble_device.cpp.o.d"
+  "CMakeFiles/kalis_sim.dir/ctp_agent.cpp.o"
+  "CMakeFiles/kalis_sim.dir/ctp_agent.cpp.o.d"
+  "CMakeFiles/kalis_sim.dir/ip_host.cpp.o"
+  "CMakeFiles/kalis_sim.dir/ip_host.cpp.o.d"
+  "CMakeFiles/kalis_sim.dir/mobility.cpp.o"
+  "CMakeFiles/kalis_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/kalis_sim.dir/propagation.cpp.o"
+  "CMakeFiles/kalis_sim.dir/propagation.cpp.o.d"
+  "CMakeFiles/kalis_sim.dir/sixlowpan_agent.cpp.o"
+  "CMakeFiles/kalis_sim.dir/sixlowpan_agent.cpp.o.d"
+  "CMakeFiles/kalis_sim.dir/world.cpp.o"
+  "CMakeFiles/kalis_sim.dir/world.cpp.o.d"
+  "CMakeFiles/kalis_sim.dir/zigbee_agent.cpp.o"
+  "CMakeFiles/kalis_sim.dir/zigbee_agent.cpp.o.d"
+  "libkalis_sim.a"
+  "libkalis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkalis_sim.a"
+)

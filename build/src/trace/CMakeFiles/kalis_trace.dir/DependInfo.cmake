@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/devices.cpp" "src/trace/CMakeFiles/kalis_trace.dir/devices.cpp.o" "gcc" "src/trace/CMakeFiles/kalis_trace.dir/devices.cpp.o.d"
+  "/root/repo/src/trace/trace_file.cpp" "src/trace/CMakeFiles/kalis_trace.dir/trace_file.cpp.o" "gcc" "src/trace/CMakeFiles/kalis_trace.dir/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/kalis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kalis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kalis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

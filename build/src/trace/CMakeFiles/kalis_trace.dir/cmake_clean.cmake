@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalis_trace.dir/devices.cpp.o"
+  "CMakeFiles/kalis_trace.dir/devices.cpp.o.d"
+  "CMakeFiles/kalis_trace.dir/trace_file.cpp.o"
+  "CMakeFiles/kalis_trace.dir/trace_file.cpp.o.d"
+  "libkalis_trace.a"
+  "libkalis_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalis_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalis_util.dir/bytes.cpp.o"
+  "CMakeFiles/kalis_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/kalis_util.dir/checksum.cpp.o"
+  "CMakeFiles/kalis_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/kalis_util.dir/log.cpp.o"
+  "CMakeFiles/kalis_util.dir/log.cpp.o.d"
+  "CMakeFiles/kalis_util.dir/rng.cpp.o"
+  "CMakeFiles/kalis_util.dir/rng.cpp.o.d"
+  "CMakeFiles/kalis_util.dir/stats.cpp.o"
+  "CMakeFiles/kalis_util.dir/stats.cpp.o.d"
+  "CMakeFiles/kalis_util.dir/strings.cpp.o"
+  "CMakeFiles/kalis_util.dir/strings.cpp.o.d"
+  "libkalis_util.a"
+  "libkalis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

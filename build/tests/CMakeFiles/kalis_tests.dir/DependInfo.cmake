@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/agents_test.cpp" "tests/CMakeFiles/kalis_tests.dir/agents_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/agents_test.cpp.o.d"
+  "/root/repo/tests/attacks_test.cpp" "tests/CMakeFiles/kalis_tests.dir/attacks_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/attacks_test.cpp.o.d"
+  "/root/repo/tests/config_test.cpp" "tests/CMakeFiles/kalis_tests.dir/config_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/config_test.cpp.o.d"
+  "/root/repo/tests/datastore_trace_test.cpp" "tests/CMakeFiles/kalis_tests.dir/datastore_trace_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/datastore_trace_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/kalis_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/kalis_node_test.cpp" "tests/CMakeFiles/kalis_tests.dir/kalis_node_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/kalis_node_test.cpp.o.d"
+  "/root/repo/tests/knowledge_test.cpp" "tests/CMakeFiles/kalis_tests.dir/knowledge_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/knowledge_test.cpp.o.d"
+  "/root/repo/tests/metrics_taxonomy_test.cpp" "tests/CMakeFiles/kalis_tests.dir/metrics_taxonomy_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/metrics_taxonomy_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/kalis_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/module_manager_test.cpp" "tests/CMakeFiles/kalis_tests.dir/module_manager_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/module_manager_test.cpp.o.d"
+  "/root/repo/tests/modules2_test.cpp" "tests/CMakeFiles/kalis_tests.dir/modules2_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/modules2_test.cpp.o.d"
+  "/root/repo/tests/modules_test.cpp" "tests/CMakeFiles/kalis_tests.dir/modules_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/modules_test.cpp.o.d"
+  "/root/repo/tests/packet_test.cpp" "tests/CMakeFiles/kalis_tests.dir/packet_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/packet_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/kalis_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/kalis_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/kalis_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/snort_test.cpp" "tests/CMakeFiles/kalis_tests.dir/snort_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/snort_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/kalis_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/kalis_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/kalis_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/kalis_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/kalis_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/kalis_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/kalis/CMakeFiles/kalis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/kalis_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kalis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kalis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kalis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
