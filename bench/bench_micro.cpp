@@ -5,8 +5,11 @@
 // CPU column.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "baseline/snort_engine.hpp"
 #include "kalis/kalis_node.hpp"
+#include "metrics/metrics_export.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -115,6 +118,31 @@ void BM_TraceRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceRoundTrip);
 
+/// Post-benchmark instrumented sweep: a fixed packet mix through the full
+/// engine, dumped as the kalis::obs metrics JSON (per-module packet counts
+/// and latency histograms) that CI uploads as an artifact.
+void dumpEngineMetrics() {
+  sim::Simulator simulator(7);
+  ids::KalisNode node(simulator);
+  node.useStandardLibrary();
+  node.start();
+  constexpr std::uint64_t kPackets = 20000;
+  for (std::uint64_t i = 0; i < kPackets; ++i) node.feed(makeIcmpPacket(i));
+  simulator.runUntil(seconds(30));
+  const std::string path = metrics::exportMetricsJson(
+      node, simulator, "bench_micro", "bench_micro.metrics.json");
+  std::fprintf(stderr, "bench_micro: metrics (%s) written to %s\n",
+               obs::kEnabled ? "KALIS_METRICS=ON" : "KALIS_METRICS=OFF",
+               path.empty() ? "<failed>" : path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dumpEngineMetrics();
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "attacks/dos_attacks.hpp"
 #include "kalis/kalis_node.hpp"
 #include "metrics/evaluation.hpp"
+#include "metrics/metrics_export.hpp"
 #include "scenarios/environments.hpp"
 #include "trace/trace_file.hpp"
 
@@ -89,5 +90,12 @@ int main(int argc, char** argv) {
   const auto eval = metrics::evaluate(truth, kalisBox.alerts());
   std::printf("\nOffline detection rate over the replayed trace: %.0f%%\n",
               eval.detectionRate() * 100.0);
+
+  // Dump the kalis::obs snapshot of the replay run ($KALIS_METRICS_OUT
+  // overrides the path) — the same artifact the bench binaries emit.
+  const std::string metricsPath = metrics::exportMetricsJson(
+      kalisBox, replaySim, "trace_replay", "trace_replay.metrics.json");
+  std::printf("Replay metrics written to %s\n",
+              metricsPath.empty() ? "<failed>" : metricsPath.c_str());
   return eval.detectionRate() > 0.99 ? 0 : 1;
 }

@@ -12,10 +12,11 @@ DataStore::~DataStore() {
 }
 
 void DataStore::onPacket(const net::CapturedPacket& pkt) {
-  window_.push(pkt);
+  if (window_.push(pkt)) windowEvictions_.inc();
   ++totalPackets_;
   if (config_.logToDisk) {
     logWriter_.append(pkt);
+    loggedPackets_.inc();
     dirty_ = true;
   }
 }
@@ -39,6 +40,17 @@ std::size_t DataStore::memoryBytes() const {
     bytes += pkt.raw.size() + sizeof(net::CapturedPacket);
   }
   return bytes;
+}
+
+void DataStore::collectMetrics(obs::Registry& reg,
+                               const std::string& prefix) const {
+  reg.counter(prefix + ".packets", totalPackets_);
+  reg.counter(prefix + ".window_evictions", windowEvictions_);
+  reg.counter(prefix + ".logged_packets", loggedPackets_);
+  reg.gauge(prefix + ".window_size", static_cast<double>(window_.size()),
+            static_cast<double>(window_.size()));
+  reg.gauge(prefix + ".memory_bytes", static_cast<double>(memoryBytes()),
+            static_cast<double>(memoryBytes()));
 }
 
 }  // namespace kalis::ids

@@ -10,6 +10,7 @@
 
 #include "net/packet.hpp"
 #include "trace/trace_file.hpp"
+#include "util/metrics.hpp"
 #include "util/sliding_window.hpp"
 
 namespace kalis::ids {
@@ -44,12 +45,23 @@ class DataStore {
   /// Live memory footprint (window contents), for the RAM proxy.
   std::size_t memoryBytes() const;
 
+  // --- observability (kalis::obs; zero-cost under KALIS_METRICS=OFF) -----------
+  /// Packets dropped off the back of the in-memory window.
+  const obs::Counter& windowEvictions() const { return windowEvictions_; }
+  /// Packets appended to the on-disk KTRC log.
+  const obs::Counter& loggedPackets() const { return loggedPackets_; }
+
+  /// Appends Data Store metrics under `prefix` (e.g. "kalis.data_store").
+  void collectMetrics(obs::Registry& reg, const std::string& prefix) const;
+
  private:
   Config config_;
   RingWindow<net::CapturedPacket> window_;
   trace::TraceWriter logWriter_;
   std::uint64_t totalPackets_ = 0;
   bool dirty_ = false;
+  obs::Counter windowEvictions_;
+  obs::Counter loggedPackets_;
 };
 
 }  // namespace kalis::ids

@@ -46,8 +46,11 @@ class KalisNode {
   KnowledgeBase& kb() { return kb_; }
   const KnowledgeBase& kb() const { return kb_; }
   ModuleManager& modules() { return manager_; }
+  const ModuleManager& modules() const { return manager_; }
   DataStore& dataStore() { return dataStore_; }
+  const DataStore& dataStore() const { return dataStore_; }
   sim::Simulator& sim() { return sim_; }
+  const sim::Simulator& sim() const { return sim_; }
 
   // --- module library ---------------------------------------------------------
   void addModule(std::unique_ptr<Module> module);

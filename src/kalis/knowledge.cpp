@@ -51,6 +51,7 @@ void KnowledgeBase::put(const std::string& label, const std::string& value,
   k.collective = collective;
   k.updated = nowTs();
   store_[key] = k;
+  publishes_.inc();
   notify(k);
   if (collective && collectiveSink_) collectiveSink_(k);
 }
@@ -71,17 +72,27 @@ void KnowledgeBase::putDouble(const std::string& label, double v,
 }
 
 bool KnowledgeBase::putRemote(const Knowgget& k) {
-  if (!writesEnabled_) return false;
-  if (k.creator == selfId_) return false;  // nobody may impersonate us
+  if (!writesEnabled_) {
+    remoteRejected_.inc();
+    return false;
+  }
+  if (k.creator == selfId_) {  // nobody may impersonate us
+    remoteRejected_.inc();
+    return false;
+  }
   const std::string key = encodeKey(k.creator, k.label, k.entity);
   auto it = store_.find(key);
   if (it != store_.end()) {
-    if (it->second.creator != k.creator) return false;  // one-way rule
-    if (it->second.value == k.value) return true;       // no change
+    if (it->second.creator != k.creator) {  // one-way rule
+      remoteRejected_.inc();
+      return false;
+    }
+    if (it->second.value == k.value) return true;  // no change
   }
   Knowgget stored = k;
   stored.updated = nowTs();
   store_[key] = stored;
+  remoteAccepted_.inc();
   notify(stored);
   return true;
 }
@@ -201,8 +212,25 @@ void KnowledgeBase::notify(const Knowgget& k) {
     } else {
       match = (k.label == sub.pattern);
     }
-    if (match) sub.fn(k);
+    if (match) {
+      subscriptionFires_.inc();
+      sub.fn(k);
+    }
   }
+}
+
+void KnowledgeBase::collectMetrics(obs::Registry& reg,
+                                   const std::string& prefix) const {
+  reg.counter(prefix + ".publishes", publishes_);
+  reg.counter(prefix + ".subscription_fires", subscriptionFires_);
+  reg.counter(prefix + ".remote_accepted", remoteAccepted_);
+  reg.counter(prefix + ".remote_rejected", remoteRejected_);
+  reg.gauge(prefix + ".knowggets", static_cast<double>(store_.size()),
+            static_cast<double>(store_.size()));
+  reg.gauge(prefix + ".memory_bytes", static_cast<double>(memoryBytes()),
+            static_cast<double>(memoryBytes()));
+  reg.gauge(prefix + ".subscriptions", static_cast<double>(subs_.size()),
+            static_cast<double>(subs_.size()));
 }
 
 }  // namespace kalis::ids

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/types.hpp"
 
@@ -136,6 +137,17 @@ class KnowledgeBase {
   void setWritesEnabled(bool enabled) { writesEnabled_ = enabled; }
   bool writesEnabled() const { return writesEnabled_; }
 
+  // --- observability (kalis::obs; zero-cost under KALIS_METRICS=OFF) -----------
+  /// Local knowgget writes that actually changed a value.
+  const obs::Counter& publishes() const { return publishes_; }
+  /// Subscription callbacks fired (one per matched subscriber per change).
+  const obs::Counter& subscriptionFires() const { return subscriptionFires_; }
+  const obs::Counter& remoteAccepted() const { return remoteAccepted_; }
+  const obs::Counter& remoteRejected() const { return remoteRejected_; }
+
+  /// Appends KB metrics under `prefix` (e.g. "kalis.kb").
+  void collectMetrics(obs::Registry& reg, const std::string& prefix) const;
+
  private:
   void notify(const Knowgget& k);
   SimTime nowTs() const { return clock_ ? clock_() : 0; }
@@ -152,6 +164,10 @@ class KnowledgeBase {
   int nextSubId_ = 1;
   std::function<void(const Knowgget&)> collectiveSink_;
   bool writesEnabled_ = true;
+  obs::Counter publishes_;
+  obs::Counter subscriptionFires_;
+  obs::Counter remoteAccepted_;
+  obs::Counter remoteRejected_;
 };
 
 // Canonical knowgget labels shared between sensing and detection modules.

@@ -17,13 +17,15 @@ ModuleContext ModuleManager::makeContext(SimTime now) {
   return ModuleContext{
       kb_, dataStore_, now, [this](Alert alert) {
         KALIS_INFO("manager", toString(alert));
+        alertsRaised_.inc();
+        if (currentStats_) currentStats_->alerts.inc();
         alerts_.push_back(alert);
         if (alertSink_) alertSink_(alerts_.back());
       }};
 }
 
 void ModuleManager::addModule(std::unique_ptr<Module> module) {
-  entries_.push_back(Entry{std::move(module), false, {}});
+  entries_.push_back(Entry{std::move(module), false, {}, {}});
   if (started_) {
     Entry& entry = entries_.back();
     Module* raw = entry.module.get();
@@ -61,6 +63,9 @@ void ModuleManager::evaluate(Entry& entry, SimTime now) {
   if (wanted == entry.active) return;
   ModuleContext ctx = makeContext(now);
   entry.active = wanted;
+  entry.stats.activationFlips.inc();
+  ModuleStats* prev = currentStats_;
+  currentStats_ = &entry.stats;
   if (wanted) {
     KALIS_DEBUG("manager", "activating " << entry.module->name());
     entry.module->onActivate(ctx);
@@ -68,12 +73,18 @@ void ModuleManager::evaluate(Entry& entry, SimTime now) {
     KALIS_DEBUG("manager", "deactivating " << entry.module->name());
     entry.module->onDeactivate(ctx);
   }
+  currentStats_ = prev;
+  activeModules_.set(static_cast<double>(activeCount()));
 }
 
 void ModuleManager::onPacket(const net::CapturedPacket& pkt, SimTime now) {
   lastEventTime_ = now;
   dataStore_.onPacket(pkt);
   ++packetsProcessed_;
+  // Wall-time one packet in kLatencySampleEvery; two steady_clock reads per
+  // module per packet would dominate the cheap modules otherwise.
+  const bool sampleLatency =
+      obs::kEnabled && (packetsProcessed_ % kLatencySampleEvery) == 0;
   const net::Dissection dis = net::dissect(pkt);
   ModuleContext ctx = makeContext(now);
   // Iterate by index: modules may trigger KB changes that activate/deactivate
@@ -82,15 +93,29 @@ void ModuleManager::onPacket(const net::CapturedPacket& pkt, SimTime now) {
     if (!entry.active) continue;
     ++moduleActivations_;
     totalWorkUnits_ += entry.module->workUnitsPerPacket();
-    entry.module->onPacket(pkt, dis, ctx);
+    entry.stats.packets.inc();
+    entry.stats.workUnits.inc(entry.module->workUnitsPerPacket());
+    currentStats_ = &entry.stats;
+    if (sampleLatency) {
+      const std::uint64_t t0 = obs::nowNs();
+      entry.module->onPacket(pkt, dis, ctx);
+      entry.stats.onPacketNs.record(obs::nowNs() - t0);
+    } else {
+      entry.module->onPacket(pkt, dis, ctx);
+    }
+    currentStats_ = nullptr;
   }
 }
 
 void ModuleManager::tick(SimTime now) {
   lastEventTime_ = now;
+  ticks_.inc();
   ModuleContext ctx = makeContext(now);
   for (auto& entry : entries_) {
-    if (entry.active) entry.module->onTick(ctx);
+    if (!entry.active) continue;
+    currentStats_ = &entry.stats;
+    entry.module->onTick(ctx);
+    currentStats_ = nullptr;
   }
 }
 
@@ -137,6 +162,37 @@ std::size_t ModuleManager::moduleMemoryBytes() const {
     if (entry.active) bytes += entry.module->memoryBytes();
   }
   return bytes;
+}
+
+const ModuleManager::ModuleStats* ModuleManager::statsFor(
+    const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.module->name() == name) return &entry.stats;
+  }
+  return nullptr;
+}
+
+void ModuleManager::collectMetrics(obs::Registry& reg,
+                                   const std::string& prefix) const {
+  reg.counter(prefix + ".packets_routed", packetsProcessed_);
+  reg.counter(prefix + ".work_units", totalWorkUnits_);
+  reg.counter(prefix + ".module_activations_seen", moduleActivations_);
+  reg.counter(prefix + ".ticks", ticks_);
+  reg.counter(prefix + ".alerts_raised", alertsRaised_);
+  reg.gauge(prefix + ".active_modules", activeModules_);
+  reg.gauge(prefix + ".module_memory_bytes",
+            static_cast<double>(moduleMemoryBytes()),
+            static_cast<double>(moduleMemoryBytes()));
+  for (const auto& entry : entries_) {
+    const std::string base = prefix + ".module." + entry.module->name();
+    reg.counter(base + ".packets", entry.stats.packets);
+    reg.counter(base + ".work_units", entry.stats.workUnits);
+    reg.counter(base + ".alerts", entry.stats.alerts);
+    reg.counter(base + ".activation_flips", entry.stats.activationFlips);
+    reg.gauge(base + ".active", entry.active ? 1.0 : 0.0,
+              entry.active ? 1.0 : 0.0);
+    reg.histogram(base + ".on_packet_ns", entry.stats.onPacketNs);
+  }
 }
 
 }  // namespace kalis::ids

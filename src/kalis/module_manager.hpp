@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "kalis/module.hpp"
+#include "util/metrics.hpp"
 
 namespace kalis::ids {
 
@@ -71,11 +72,34 @@ class ModuleManager {
   /// Cumulative integral of (active modules) over packets — a load measure.
   std::uint64_t moduleActivationsSeen() const { return moduleActivations_; }
 
+  // --- observability (kalis::obs; zero-cost under KALIS_METRICS=OFF) ----------
+
+  /// Per-module instrumentation. The latency histogram is wall-time sampled
+  /// (1 packet in kLatencySampleEvery) so the steady_clock reads stay off
+  /// the common path.
+  struct ModuleStats {
+    obs::Counter packets;          ///< packets routed to this module
+    obs::Counter workUnits;        ///< CPU-proxy units charged
+    obs::Counter alerts;           ///< alerts raised by this module
+    obs::Counter activationFlips;  ///< KB-driven (de)activations
+    obs::Histogram onPacketNs;     ///< sampled onPacket wall time, ns
+  };
+
+  /// Every kLatencySampleEvery-th packet gets wall-timed per module.
+  static constexpr std::uint64_t kLatencySampleEvery = 16;
+
+  /// Stats for one module by name; nullptr if unknown.
+  const ModuleStats* statsFor(const std::string& name) const;
+
+  /// Appends all manager + per-module metrics under `prefix` ("kalis").
+  void collectMetrics(obs::Registry& reg, const std::string& prefix) const;
+
  private:
   struct Entry {
     std::unique_ptr<Module> module;
     bool active = false;
     std::vector<int> subscriptionIds;
+    ModuleStats stats;
   };
 
   void evaluate(Entry& entry, SimTime now);
@@ -93,6 +117,13 @@ class ModuleManager {
   std::uint64_t packetsProcessed_ = 0;
   std::uint64_t moduleActivations_ = 0;
   SimTime lastEventTime_ = 0;
+  obs::Counter ticks_;
+  obs::Counter alertsRaised_;
+  obs::Gauge activeModules_;
+  /// Module currently dispatched to; alerts raised through the context are
+  /// attributed to it. Entry addresses are stable during dispatch (modules
+  /// are added before traffic flows; KB flips never grow the vector).
+  ModuleStats* currentStats_ = nullptr;
 };
 
 }  // namespace kalis::ids

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "kalis/config.hpp"
+#include "metrics/metrics_export.hpp"
 
 namespace kalis::scenarios {
 
@@ -110,6 +111,10 @@ ScenarioResult finishResult(std::string scenario, IdsHarness& harness,
   result.packetsSniffed = harness.packetsSeen();
   result.simulated = simulated;
   result.truthSize = truth.size();
+  if (ids::KalisNode* node = harness.kalis()) {
+    result.metricsJson =
+        metrics::collectMetrics(*node, node->sim(), result.scenario).toJson();
+  }
   return result;
 }
 

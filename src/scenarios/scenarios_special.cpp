@@ -208,13 +208,18 @@ ReactivityResult runReactivity(std::uint64_t seed) {
   auto* kalisNode = harness.kalis();
   auto poll = std::make_shared<std::function<void()>>();
   auto* resultPtr = &result;
-  *poll = [&simulator, kalisNode, resultPtr, poll] {
+  // Weak self-reference: a shared_ptr capture would cycle with the function
+  // it lives in and leak (LeakSanitizer catches this in the CI job).
+  std::weak_ptr<std::function<void()>> weakPoll = poll;
+  *poll = [&simulator, kalisNode, resultPtr, weakPoll] {
     if (resultPtr->activationTime == kSimTimeMax &&
         kalisNode->modules().isActive("SelectiveForwardingModule")) {
       resultPtr->activationTime = simulator.now();
       return;  // found; stop polling
     }
-    simulator.schedule(milliseconds(100), *poll);
+    if (auto self = weakPoll.lock()) {
+      simulator.schedule(milliseconds(100), *self);
+    }
   };
   simulator.schedule(milliseconds(100), *poll);
 

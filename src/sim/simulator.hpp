@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -29,14 +31,17 @@ class Simulator {
   /// Schedules fn at an absolute virtual time (>= now).
   void at(SimTime t, std::function<void()> fn) {
     queue_.push(Event{t, nextSeq_++, std::move(fn)});
+    queueDepth_.set(static_cast<double>(queue_.size()));
   }
 
   /// Runs the next pending event; returns false if the queue is empty.
   bool step() {
     if (queue_.empty()) return false;
+    if (obs::kEnabled && wallStartNs_ == 0) wallStartNs_ = obs::nowNs();
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
+    eventsDispatched_.inc();
     ev.fn();
     return true;
   }
@@ -55,6 +60,33 @@ class Simulator {
 
   std::size_t pendingEvents() const { return queue_.size(); }
 
+  // --- observability (kalis::obs; zero-cost under KALIS_METRICS=OFF) ----------
+  const obs::Counter& eventsDispatched() const { return eventsDispatched_; }
+  /// Queue depth at the last schedule, plus its high-water mark.
+  const obs::Gauge& queueDepth() const { return queueDepth_; }
+
+  /// Wall nanoseconds since the first step() (0 before any event ran).
+  std::uint64_t wallElapsedNs() const {
+    return wallStartNs_ ? obs::nowNs() - wallStartNs_ : 0;
+  }
+
+  /// Virtual seconds simulated per wall second; the headroom measure behind
+  /// the "fast as the hardware allows" goal. 0 until the first event runs.
+  double simWallRatio() const {
+    const std::uint64_t wall = wallElapsedNs();
+    if (wall == 0) return 0.0;
+    return toSeconds(now_) / (static_cast<double>(wall) / 1e9);
+  }
+
+  /// Appends event-loop metrics under `prefix` (e.g. "sim").
+  void collectMetrics(obs::Registry& reg, const std::string& prefix) const {
+    reg.counter(prefix + ".events_dispatched", eventsDispatched_);
+    reg.gauge(prefix + ".pending_events", queueDepth_);
+    reg.counter(prefix + ".sim_time_us", now_);
+    reg.counter(prefix + ".wall_time_ns", wallElapsedNs());
+    reg.gauge(prefix + ".sim_wall_ratio", simWallRatio(), simWallRatio());
+  }
+
  private:
   struct Event {
     SimTime time;
@@ -72,6 +104,9 @@ class Simulator {
   std::uint64_t nextSeq_ = 0;
   Rng rng_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  obs::Counter eventsDispatched_;
+  obs::Gauge queueDepth_;
+  std::uint64_t wallStartNs_ = 0;
 };
 
 }  // namespace kalis::sim

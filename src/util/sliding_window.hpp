@@ -104,9 +104,14 @@ class RingWindow {
  public:
   explicit RingWindow(std::size_t capacity) : capacity_(capacity) {}
 
-  void push(T item) {
+  /// Returns true when the push evicted the oldest item (window was full).
+  bool push(T item) {
     items_.push_back(std::move(item));
-    if (items_.size() > capacity_) items_.pop_front();
+    if (items_.size() > capacity_) {
+      items_.pop_front();
+      return true;
+    }
+    return false;
   }
 
   std::size_t size() const { return items_.size(); }
