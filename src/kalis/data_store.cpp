@@ -12,6 +12,7 @@ DataStore::~DataStore() {
 }
 
 void DataStore::onPacket(const net::CapturedPacket& pkt) {
+  owner_.check("DataStore::onPacket");
   if (window_.push(pkt)) windowEvictions_.inc();
   ++totalPackets_;
   if (config_.logToDisk) {
@@ -22,6 +23,7 @@ void DataStore::onPacket(const net::CapturedPacket& pkt) {
 }
 
 bool DataStore::flush() {
+  owner_.check("DataStore::flush");
   if (!config_.logToDisk || config_.logPath.empty()) return false;
   const bool ok = logWriter_.writeFile(config_.logPath);
   if (ok) dirty_ = false;

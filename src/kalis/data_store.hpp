@@ -2,6 +2,15 @@
 // sliding window of the most recent packets in memory, optionally logs all
 // traffic to disk in the KTRC format, and can replay logs transparently to
 // the detection modules.
+//
+// Shard-confinement contract (DESIGN.md §7): a DataStore instance — window,
+// disk log and counters — is owned by exactly one thread for its lifetime.
+// It is deliberately lock-free; multi-worker deployments give each pipeline
+// shard its own DataStore instead of sharing one behind a global lock.
+// Debug builds bind an ownership checker on the first mutation and abort on
+// access from any other thread. Reads (window(), memoryBytes()) follow the
+// same confinement; there is no synchronization to make them safe
+// elsewhere.
 #pragma once
 
 #include <functional>
@@ -12,6 +21,7 @@
 #include "trace/trace_file.hpp"
 #include "util/metrics.hpp"
 #include "util/sliding_window.hpp"
+#include "util/thread_check.hpp"
 
 namespace kalis::ids {
 
@@ -54,7 +64,13 @@ class DataStore {
   /// Appends Data Store metrics under `prefix` (e.g. "kalis.data_store").
   void collectMetrics(obs::Registry& reg, const std::string& prefix) const;
 
+  /// Releases debug-build thread ownership for an explicit single-ended
+  /// handoff (see util/thread_check.hpp). Never call while another thread
+  /// may still touch this store.
+  void rebindOwnerThread() { owner_.rebind(); }
+
  private:
+  util::ThreadOwnershipChecker owner_;
   Config config_;
   RingWindow<net::CapturedPacket> window_;
   trace::TraceWriter logWriter_;

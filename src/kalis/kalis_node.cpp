@@ -92,6 +92,11 @@ void KalisNode::feed(const net::CapturedPacket& pkt) {
   manager_.onPacket(pkt, pkt.meta.timestamp ? pkt.meta.timestamp : sim_.now());
 }
 
+void KalisNode::replayFeed(const net::CapturedPacket& pkt) {
+  if (pkt.meta.timestamp > sim_.now()) sim_.runUntil(pkt.meta.timestamp);
+  feed(pkt);
+}
+
 void KalisNode::start() {
   if (started_) return;
   started_ = true;

@@ -8,6 +8,13 @@
 // (emulateTraditionalIds(): all modules always active, Knowledge Base
 // frozen), guaranteeing the paper's "total fairness with respect to the
 // detection techniques".
+//
+// Shard-confinement contract (DESIGN.md §7): a KalisNode and everything it
+// owns (Knowledge Base, Data Store, Module Manager, modules) belong to
+// exactly one thread for their whole lifetime. kalis::pipeline honors this
+// by constructing each shard's node on its worker thread; debug builds
+// enforce it with thread-ownership checks in KnowledgeBase and DataStore.
+// Collective-knowledge peers must live on the same thread and simulator.
 #pragma once
 
 #include <map>
@@ -31,7 +38,7 @@ class KalisNode {
     DataStore::Config dataStore{};
     Duration tickInterval = seconds(1);
     /// Latency of the encrypted one-way peer channels used for collective
-    /// knowgget synchronization.
+    /// knowledge synchronization.
     Duration peerSyncLatency = milliseconds(10);
   };
 
@@ -75,6 +82,12 @@ class KalisNode {
               std::initializer_list<net::Medium> media);
   /// Direct packet feed (trace replay, tests).
   void feed(const net::CapturedPacket& pkt);
+  /// Replay feed: first advances this node's simulator clock to the packet's
+  /// capture timestamp — firing pending ticks exactly as live operation
+  /// would — then feeds it. This is the per-packet step of the synchronous
+  /// replay path and of kalis::pipeline shard engines; only meaningful when
+  /// this node (and its peers, if any) are the sole users of the simulator.
+  void replayFeed(const net::CapturedPacket& pkt);
 
   /// Starts the module manager and the periodic tick. Call once.
   void start();

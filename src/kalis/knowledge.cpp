@@ -38,6 +38,7 @@ KnowledgeBase::KnowledgeBase(std::string selfId) : selfId_(std::move(selfId)) {}
 
 void KnowledgeBase::put(const std::string& label, const std::string& value,
                         const std::string& entity, bool collective) {
+  owner_.check("KnowledgeBase::put");
   if (!writesEnabled_) return;
   const std::string key = encodeKey(selfId_, label, entity);
   auto it = store_.find(key);
@@ -72,6 +73,7 @@ void KnowledgeBase::putDouble(const std::string& label, double v,
 }
 
 bool KnowledgeBase::putRemote(const Knowgget& k) {
+  owner_.check("KnowledgeBase::putRemote");
   if (!writesEnabled_) {
     remoteRejected_.inc();
     return false;
@@ -98,6 +100,7 @@ bool KnowledgeBase::putRemote(const Knowgget& k) {
 }
 
 bool KnowledgeBase::remove(const std::string& label, const std::string& entity) {
+  owner_.check("KnowledgeBase::remove");
   return store_.erase(encodeKey(selfId_, label, entity)) > 0;
 }
 
@@ -190,12 +193,14 @@ std::size_t KnowledgeBase::memoryBytes() const {
 }
 
 int KnowledgeBase::subscribe(const std::string& labelPattern, Subscription fn) {
+  owner_.check("KnowledgeBase::subscribe");
   const int id = nextSubId_++;
   subs_.push_back(Sub{id, labelPattern, std::move(fn)});
   return id;
 }
 
 void KnowledgeBase::unsubscribe(int id) {
+  owner_.check("KnowledgeBase::unsubscribe");
   subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
                              [id](const Sub& s) { return s.id == id; }),
               subs_.end());

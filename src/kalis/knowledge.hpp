@@ -15,6 +15,15 @@
 // peers. Incoming remote knowggets may only create-or-update entries whose
 // creator matches the sending node — a peer can never overwrite another
 // node's knowledge (paper's one-way update rule).
+//
+// Shard-confinement contract (DESIGN.md §7): a KnowledgeBase — store,
+// subscriptions and sinks — is owned by exactly one thread for its
+// lifetime; it carries no locks by design. kalis::pipeline gives every
+// shard its own KB built on the owning worker thread. Debug builds bind an
+// ownership checker on the first mutation (put/putRemote/remove/subscribe)
+// and abort on any cross-thread access; reads follow the same confinement.
+// Collective sync via putRemote is a *same-thread* mechanism: peer nodes
+// must share the owner thread (and simulator), never cross shards.
 #pragma once
 
 #include <functional>
@@ -26,6 +35,7 @@
 
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
+#include "util/thread_check.hpp"
 #include "util/types.hpp"
 
 namespace kalis::ids {
@@ -148,10 +158,16 @@ class KnowledgeBase {
   /// Appends KB metrics under `prefix` (e.g. "kalis.kb").
   void collectMetrics(obs::Registry& reg, const std::string& prefix) const;
 
+  /// Releases debug-build thread ownership for an explicit single-ended
+  /// handoff (see util/thread_check.hpp). Never call while another thread
+  /// may still touch this KB.
+  void rebindOwnerThread() { owner_.rebind(); }
+
  private:
   void notify(const Knowgget& k);
   SimTime nowTs() const { return clock_ ? clock_() : 0; }
 
+  util::ThreadOwnershipChecker owner_;
   std::string selfId_;
   std::function<SimTime()> clock_;
   std::map<std::string, Knowgget> store_;  ///< by encoded key

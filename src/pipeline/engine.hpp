@@ -1,0 +1,46 @@
+// The detection-engine seam of kalis::pipeline.
+//
+// A PacketEngine is a shard-confined detection backend: the Pipeline
+// constructs one per shard *on the worker thread that will own it* (via the
+// EngineFactory), routes that shard's packets into it in enqueue order, and
+// periodically collects its alerts for the ordered merge stage. Engines
+// never see packets from other shards and are never called from two
+// threads, so implementations need no locking.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "kalis/alert.hpp"
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace kalis::pipeline {
+
+class PacketEngine {
+ public:
+  virtual ~PacketEngine() = default;
+
+  /// Processes one packet. Packets arrive in per-source capture order.
+  virtual void onPacket(const net::CapturedPacket& pkt) = 0;
+
+  /// Returns (and clears) the alerts raised since the previous call, in
+  /// nondecreasing Alert::time order.
+  virtual std::vector<ids::Alert> takeAlerts() = 0;
+
+  /// Completeness promise for the merge stage: no alert returned by a
+  /// *future* takeAlerts() will carry time < watermark().
+  virtual SimTime watermark() const = 0;
+
+  /// End-of-stream, called exactly once after the last onPacket (e.g. to
+  /// run out tick-driven detection windows).
+  virtual void finish() {}
+};
+
+/// Builds the engine for `shard`; invoked on the owning worker thread (or
+/// the caller thread in deterministic mode).
+using EngineFactory =
+    std::function<std::unique_ptr<PacketEngine>(std::size_t shard)>;
+
+}  // namespace kalis::pipeline

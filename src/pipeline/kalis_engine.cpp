@@ -1,0 +1,62 @@
+#include "pipeline/kalis_engine.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace kalis::pipeline {
+
+namespace {
+
+class KalisShardEngine : public PacketEngine {
+ public:
+  KalisShardEngine(const KalisEngineOptions& options, std::size_t shard)
+      : sim_(options.seedBase + shard),
+        node_(sim_, nodeOptions(options, shard)),
+        drainUntil_(options.drainUntil) {
+    if (options.configure) options.configure(node_);
+    node_.setAlertSink([this](const ids::Alert& alert) {
+      fresh_.push_back(alert);
+    });
+    node_.start();
+  }
+
+  void onPacket(const net::CapturedPacket& pkt) override {
+    node_.replayFeed(pkt);
+  }
+
+  std::vector<ids::Alert> takeAlerts() override {
+    return std::exchange(fresh_, {});
+  }
+
+  SimTime watermark() const override { return sim_.now(); }
+
+  void finish() override {
+    if (drainUntil_ > sim_.now()) sim_.runUntil(drainUntil_);
+  }
+
+ private:
+  static ids::KalisNode::Options nodeOptions(const KalisEngineOptions& options,
+                                             std::size_t shard) {
+    ids::KalisNode::Options node = options.node;
+    if (shard > 0) node.id += "-s" + std::to_string(shard);
+    return node;
+  }
+
+  sim::Simulator sim_;
+  ids::KalisNode node_;
+  SimTime drainUntil_;
+  std::vector<ids::Alert> fresh_;
+};
+
+}  // namespace
+
+EngineFactory makeKalisEngineFactory(KalisEngineOptions options) {
+  return [options = std::move(options)](std::size_t shard) {
+    return std::make_unique<KalisShardEngine>(options, shard);
+  };
+}
+
+}  // namespace kalis::pipeline

@@ -1,0 +1,198 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace kalis::pipeline {
+
+bool Pipeline::MergeStage::Later::operator()(const Pending& a,
+                                             const Pending& b) const {
+  if (a.alert.time != b.alert.time) return a.alert.time > b.alert.time;
+  if (a.shard != b.shard) return a.shard > b.shard;
+  return a.seq > b.seq;
+}
+
+Pipeline::Pipeline(Options options, EngineFactory factory)
+    : options_(options), factory_(std::move(factory)) {
+  if (options_.deterministic) options_.workers = 1;
+  if (options_.workers == 0) options_.workers = 1;
+  shards_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.queueCapacity));
+  }
+  merge_.watermark.assign(shards_.size(), 0);
+  merge_.done.assign(shards_.size(), 0);
+  merge_.nextSeq.assign(shards_.size(), 0);
+}
+
+Pipeline::~Pipeline() { stop(); }
+
+void Pipeline::setAlertSink(std::function<void(const ids::Alert&)> sink) {
+  merge_.sink = std::move(sink);
+}
+
+void Pipeline::start() {
+  if (started_) return;
+  started_ = true;
+  if (options_.deterministic) {
+    shards_[0]->engine = factory_(0);
+    return;
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->worker = std::thread([this, i] { workerMain(i); });
+  }
+}
+
+bool Pipeline::enqueue(const net::CapturedPacket& pkt) {
+  const std::size_t idx = shardOf(pkt, shards_.size());
+  Shard& shard = *shards_[idx];
+  if (options_.deterministic) {
+    if (!started_ || stopped_) {
+      KALIS_WARN("pipeline",
+                 "deterministic enqueue outside start()/stop() window");
+      return false;
+    }
+    // Route through the ring so backpressure counters behave identically,
+    // then drain synchronously — the ring never holds more than one packet.
+    const PacketRing::PushResult r = shard.ring.push(pkt, options_.policy);
+    if (r == PacketRing::PushResult::kDroppedNewest ||
+        r == PacketRing::PushResult::kClosed) {
+      return false;
+    }
+    detBatch_.clear();
+    shard.ring.popBatch(detBatch_, 1);
+    shard.engine->onPacket(detBatch_[0].pkt);
+    collectFrom(idx, /*shardDone=*/false);
+    return true;
+  }
+  const PacketRing::PushResult r = shard.ring.push(pkt, options_.policy);
+  return r == PacketRing::PushResult::kOk ||
+         r == PacketRing::PushResult::kOkBlocked ||
+         r == PacketRing::PushResult::kDroppedOldest;
+}
+
+void Pipeline::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  if (options_.deterministic) {
+    shards_[0]->ring.close();
+    shards_[0]->engine->finish();
+    collectFrom(0, /*shardDone=*/true);
+    return;
+  }
+  for (auto& shard : shards_) shard->ring.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void Pipeline::workerMain(std::size_t shardIdx) {
+  Shard& shard = *shards_[shardIdx];
+  // The engine is created on its owning thread, so thread-ownership
+  // checkers inside KnowledgeBase / DataStore bind to this worker.
+  shard.engine = factory_(shardIdx);
+  std::vector<PacketRing::Item> batch;
+  batch.reserve(options_.maxBatch);
+  for (;;) {
+    batch.clear();
+    const std::size_t n = shard.ring.popBatch(batch, options_.maxBatch);
+    if (n == 0) break;  // closed and drained
+    for (const PacketRing::Item& item : batch) {
+      shard.engine->onPacket(item.pkt);
+    }
+    collectFrom(shardIdx, /*shardDone=*/false);
+  }
+  shard.engine->finish();
+  collectFrom(shardIdx, /*shardDone=*/true);
+  // Tear the engine down here too: shard state must be built, used and
+  // destroyed by its one owning thread (KB/DataStore assert this).
+  shard.engine.reset();
+}
+
+void Pipeline::collectFrom(std::size_t shardIdx, bool shardDone) {
+  Shard& shard = *shards_[shardIdx];
+  merge_.offer(shardIdx, shard.engine->takeAlerts(), shard.engine->watermark(),
+               shardDone);
+}
+
+void Pipeline::MergeStage::offer(std::size_t shard,
+                                 std::vector<ids::Alert> alerts,
+                                 SimTime shardWatermark, bool shardDone) {
+  std::lock_guard<std::mutex> lock(mu);
+  for (ids::Alert& alert : alerts) {
+    heap.push_back(Pending{std::move(alert), shard, nextSeq[shard]++});
+    std::push_heap(heap.begin(), heap.end(), MergeStage::Later{});
+  }
+  if (shardWatermark > watermark[shard]) watermark[shard] = shardWatermark;
+  if (shardDone) done[shard] = 1;
+  flushLocked();
+}
+
+void Pipeline::MergeStage::flushLocked() {
+  // An alert is releasable once no live shard can still produce one that
+  // sorts before it: strictly below the minimum live watermark (a shard at
+  // watermark t may still emit alerts stamped exactly t).
+  SimTime minLive = kSimTimeMax;
+  bool allDone = true;
+  for (std::size_t i = 0; i < watermark.size(); ++i) {
+    if (done[i]) continue;
+    allDone = false;
+    minLive = std::min(minLive, watermark[i]);
+  }
+  while (!heap.empty() &&
+         (allDone || heap.front().alert.time < minLive)) {
+    std::pop_heap(heap.begin(), heap.end(), MergeStage::Later{});
+    Pending p = std::move(heap.back());
+    heap.pop_back();
+    emitted.push_back(p.alert);
+    if (sink) sink(emitted.back());
+  }
+}
+
+std::uint64_t Pipeline::enqueued() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ring.stats().pushed;
+  return n;
+}
+
+std::uint64_t Pipeline::processed() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ring.stats().popped;
+  return n;
+}
+
+std::uint64_t Pipeline::droppedNewest() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ring.stats().droppedNewest;
+  return n;
+}
+
+std::uint64_t Pipeline::droppedOldest() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ring.stats().droppedOldest;
+  return n;
+}
+
+std::uint64_t Pipeline::blockedPushes() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ring.stats().blockedPushes;
+  return n;
+}
+
+void Pipeline::collectMetrics(obs::Registry& reg,
+                              const std::string& prefix) const {
+  reg.counter(prefix + ".shards", shards_.size());
+  reg.counter(prefix + ".enqueued", enqueued());
+  reg.counter(prefix + ".processed", processed());
+  reg.counter(prefix + ".dropped_newest", droppedNewest());
+  reg.counter(prefix + ".dropped_oldest", droppedOldest());
+  reg.counter(prefix + ".blocked_pushes", blockedPushes());
+  reg.counter(prefix + ".alerts_emitted", merge_.emitted.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->ring.collectMetrics(
+        reg, prefix + ".shard." + std::to_string(i) + ".ring");
+  }
+}
+
+}  // namespace kalis::pipeline

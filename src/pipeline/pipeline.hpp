@@ -1,0 +1,155 @@
+// kalis::pipeline — sharded multi-worker packet-ingestion engine with
+// backpressure (DESIGN.md §7).
+//
+// Decouples packet capture from detection:
+//
+//   producers ──enqueue──▶ per-shard bounded MPSC rings ──▶ worker threads
+//        (hash by link-layer source)        (batch dequeue)     │
+//                                                               ▼
+//                                                      shard PacketEngine
+//                                                               │ alerts
+//                                                               ▼
+//                      timestamp-ordered merge ──▶ alert sink / SIEM export
+//
+// Sharding is by link-layer source address (pipeline/shard_key.hpp), so all
+// per-device state — flood windows, watchdog counters, DataStore windows —
+// stays on one worker and no detection structure needs a lock.
+//
+// The merge stage buffers shard alerts in a min-heap keyed by
+// (time, shard, seq) and releases an alert only once every live shard's
+// watermark has passed its timestamp, so the emitted stream is totally
+// ordered and identical across runs regardless of thread interleaving.
+//
+// Modes:
+//   deterministic = true   single shard, processed synchronously on the
+//                          caller thread — bit-reproducible, used by ctest
+//                          and the discrete-event simulator.
+//   deterministic = false  `workers` threads, each owning one shard.
+//
+// Lifecycle: construct → (setAlertSink) → start() → enqueue()* → stop().
+// stop() closes the rings, drains every queued packet (drain-on-shutdown),
+// joins the workers and flushes the merge stage. A Pipeline is one-shot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/engine.hpp"
+#include "pipeline/ring_buffer.hpp"
+#include "pipeline/shard_key.hpp"
+#include "util/metrics.hpp"
+
+namespace kalis::pipeline {
+
+struct Options {
+  /// Worker threads (= shards). Clamped to >= 1; forced to 1 by
+  /// `deterministic`.
+  std::size_t workers = 4;
+  std::size_t queueCapacity = 4096;  ///< ring slots per shard
+  std::size_t maxBatch = 64;         ///< packets per worker dequeue
+  Backpressure policy = Backpressure::kBlock;
+  /// Single-shard caller-thread mode: enqueue() runs the engine inline and
+  /// emits alerts immediately, bit-identical to feeding the engine
+  /// directly.
+  bool deterministic = false;
+};
+
+class Pipeline {
+ public:
+  Pipeline(Options options, EngineFactory factory);
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Receives every merged alert, in nondecreasing time order. Threaded
+  /// mode invokes the sink from worker threads, but never concurrently
+  /// (serialized under the merge lock). Set before start().
+  void setAlertSink(std::function<void(const ids::Alert&)> sink);
+
+  /// Spawns the workers (threaded mode) or builds the shard engine
+  /// (deterministic mode). Call once.
+  void start();
+  bool started() const { return started_; }
+  bool stopped() const { return stopped_; }
+
+  /// Hash-routes the packet to its shard. Returns true iff this packet was
+  /// accepted (under kDropOldest an *older* packet may have been evicted —
+  /// see droppedOldest()). Threaded mode: callable from any thread, also
+  /// before start() (packets buffer in the rings). Deterministic mode:
+  /// caller thread only, after start().
+  bool enqueue(const net::CapturedPacket& pkt);
+
+  /// Drains every queued packet, joins the workers, runs engine finish()
+  /// and flushes the merge stage. Idempotent.
+  void stop();
+
+  /// All merged alerts, in emission order. Stable once stop() returned.
+  const std::vector<ids::Alert>& alerts() const { return merge_.emitted; }
+
+  std::size_t shardCount() const { return shards_.size(); }
+  const Options& options() const { return options_; }
+
+  // --- loss accounting (exact, valid while producers are quiescent) ----------
+  std::uint64_t enqueued() const;       ///< packets accepted into rings
+  std::uint64_t processed() const;      ///< packets handed to engines
+  std::uint64_t droppedNewest() const;  ///< rejected incoming packets
+  std::uint64_t droppedOldest() const;  ///< evicted queued packets
+  std::uint64_t dropped() const { return droppedNewest() + droppedOldest(); }
+  std::uint64_t blockedPushes() const;  ///< pushes that waited for room
+
+  /// Appends pipeline + per-shard ring metrics under `prefix`
+  /// (e.g. "pipeline"). Call while quiescent (before start or after stop).
+  void collectMetrics(obs::Registry& reg, const std::string& prefix) const;
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t capacity) : ring(capacity) {}
+    PacketRing ring;
+    std::unique_ptr<PacketEngine> engine;
+    std::thread worker;
+  };
+
+  /// Timestamp-ordered, watermark-gated alert merge.
+  struct MergeStage {
+    struct Pending {
+      ids::Alert alert;
+      std::size_t shard = 0;
+      std::uint64_t seq = 0;
+    };
+    /// Heap comparator: smallest (time, shard, seq) on top.
+    struct Later {
+      bool operator()(const Pending& a, const Pending& b) const;
+    };
+    std::mutex mu;
+    std::vector<Pending> heap;  ///< min-heap by (time, shard, seq)
+    std::vector<SimTime> watermark;
+    std::vector<char> done;
+    std::vector<std::uint64_t> nextSeq;
+    std::vector<ids::Alert> emitted;
+    std::function<void(const ids::Alert&)> sink;
+
+    void offer(std::size_t shard, std::vector<ids::Alert> alerts,
+               SimTime shardWatermark, bool shardDone);
+
+   private:
+    void flushLocked();
+  };
+
+  void workerMain(std::size_t shard);
+  void collectFrom(std::size_t shard, bool shardDone);
+
+  Options options_;
+  EngineFactory factory_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  MergeStage merge_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<PacketRing::Item> detBatch_;  ///< deterministic-mode scratch
+};
+
+}  // namespace kalis::pipeline

@@ -1,0 +1,219 @@
+// Bounded MPSC packet ring — the ingress stage of kalis::pipeline.
+//
+// Multiple producers (sniffer callbacks, trace replay loops) push captured
+// packets; exactly one worker drains them in batches. The ring is a fixed
+// array of `capacity` slots guarded by one mutex and two condition
+// variables; batch dequeue amortizes the lock to well under the cost of
+// dissecting a single packet.
+//
+// When the ring is full the configured backpressure policy decides:
+//
+//   kBlock       producer waits until the worker frees a slot (lossless)
+//   kDropNewest  the incoming packet is rejected
+//   kDropOldest  the oldest queued packet is evicted to make room
+//
+// Every outcome is counted (always-on uint64 tallies for loss accounting,
+// kalis::obs histograms/gauges for depth, enqueue latency, queue wait and
+// batch size). All counters are updated under the ring mutex, so they are
+// exact and TSan-clean.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/metrics.hpp"
+
+namespace kalis::pipeline {
+
+/// Policy applied by PacketRing::push when the ring is full.
+enum class Backpressure : std::uint8_t { kBlock, kDropNewest, kDropOldest };
+
+const char* backpressureName(Backpressure p);
+
+class PacketRing {
+ public:
+  enum class PushResult : std::uint8_t {
+    kOk,             ///< accepted, ring had room
+    kOkBlocked,      ///< accepted after waiting for room (kBlock)
+    kDroppedNewest,  ///< rejected: the incoming packet was dropped
+    kDroppedOldest,  ///< accepted, but the oldest queued packet was evicted
+    kClosed,         ///< rejected: the ring is closed
+  };
+
+  /// A queued packet plus its (sampled) enqueue timestamp for queue-wait
+  /// latency; 0 when the packet was not sampled.
+  struct Item {
+    net::CapturedPacket pkt;
+    std::uint64_t enqueuedNs = 0;
+  };
+
+  /// Exact event tallies since construction (guarded by the ring mutex).
+  struct Stats {
+    std::uint64_t pushed = 0;         ///< packets accepted
+    std::uint64_t droppedNewest = 0;  ///< incoming packets rejected
+    std::uint64_t droppedOldest = 0;  ///< queued packets evicted
+    std::uint64_t blockedPushes = 0;  ///< pushes that had to wait
+    std::uint64_t closedPushes = 0;   ///< pushes rejected by close()
+    std::uint64_t popped = 0;         ///< packets handed to the consumer
+    std::uint64_t batches = 0;        ///< popBatch calls that returned items
+  };
+
+  explicit PacketRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
+
+  PacketRing(const PacketRing&) = delete;
+  PacketRing& operator=(const PacketRing&) = delete;
+
+  /// Enqueues one packet under `policy`. Thread-safe for any number of
+  /// producers. With kBlock this waits until a slot frees up or the ring
+  /// is closed.
+  PushResult push(const net::CapturedPacket& pkt, Backpressure policy) {
+    // One clock read on entry (metrics builds only); the exit read happens
+    // on 1-in-kSampleEvery pushes, keeping steady_clock off the hot path.
+    const std::uint64_t t0 = obs::kEnabled ? obs::nowNs() : 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    bool blocked = false;
+    bool evicted = false;
+    if (closed_) {
+      ++stats_.closedPushes;
+      return PushResult::kClosed;
+    }
+    if (count_ == capacity_) {
+      switch (policy) {
+        case Backpressure::kDropNewest:
+          ++stats_.droppedNewest;
+          return PushResult::kDroppedNewest;
+        case Backpressure::kDropOldest:
+          head_ = (head_ + 1) % capacity_;
+          --count_;
+          ++stats_.droppedOldest;
+          evicted = true;
+          break;
+        case Backpressure::kBlock:
+          blocked = true;
+          ++stats_.blockedPushes;
+          notFull_.wait(lock,
+                        [this] { return closed_ || count_ < capacity_; });
+          if (closed_) {
+            ++stats_.closedPushes;
+            return PushResult::kClosed;
+          }
+          break;
+      }
+    }
+    Item& slot = slots_[(head_ + count_) % capacity_];
+    slot.pkt = pkt;
+    const bool sampled = obs::kEnabled && (stats_.pushed % kSampleEvery) == 0;
+    slot.enqueuedNs = sampled ? t0 : 0;
+    ++count_;
+    ++stats_.pushed;
+    depth_.set(static_cast<double>(count_));
+    if (sampled) enqueueNs_.record(obs::nowNs() - t0);
+    lock.unlock();
+    notEmpty_.notify_one();
+    if (evicted) return PushResult::kDroppedOldest;
+    return blocked ? PushResult::kOkBlocked : PushResult::kOk;
+  }
+
+  /// Moves up to `maxBatch` items into `out` (appended). Blocks until at
+  /// least one item is available or the ring is closed; returns the number
+  /// of items appended — 0 means closed and fully drained.
+  std::size_t popBatch(std::vector<Item>& out, std::size_t maxBatch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    notEmpty_.wait(lock, [this] { return closed_ || count_ > 0; });
+    const std::size_t n = std::min(maxBatch == 0 ? 1 : maxBatch, count_);
+    for (std::size_t i = 0; i < n; ++i) {
+      Item& slot = slots_[head_];
+      if (slot.enqueuedNs != 0) queueWaitNs_.record(obs::nowNs() - slot.enqueuedNs);
+      out.push_back(std::move(slot));
+      head_ = (head_ + 1) % capacity_;
+    }
+    count_ -= n;
+    if (n > 0) {
+      stats_.popped += n;
+      ++stats_.batches;
+      batchSize_.record(n);
+      depth_.set(static_cast<double>(count_));
+      lock.unlock();
+      notFull_.notify_all();  // several producers may be waiting
+    }
+    return n;
+  }
+
+  /// Rejects all future pushes and wakes every waiter; queued packets stay
+  /// drainable via popBatch (drain-on-shutdown).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// Appends ring metrics under `prefix` (e.g. "pipeline.shard.0.ring").
+  void collectMetrics(obs::Registry& reg, const std::string& prefix) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    reg.counter(prefix + ".pushed", stats_.pushed);
+    reg.counter(prefix + ".dropped_newest", stats_.droppedNewest);
+    reg.counter(prefix + ".dropped_oldest", stats_.droppedOldest);
+    reg.counter(prefix + ".blocked_pushes", stats_.blockedPushes);
+    reg.counter(prefix + ".closed_pushes", stats_.closedPushes);
+    reg.counter(prefix + ".popped", stats_.popped);
+    reg.counter(prefix + ".batches", stats_.batches);
+    reg.gauge(prefix + ".depth", depth_);
+    reg.histogram(prefix + ".enqueue_ns", enqueueNs_);
+    reg.histogram(prefix + ".queue_wait_ns", queueWaitNs_);
+    reg.histogram(prefix + ".batch_size", batchSize_);
+  }
+
+  /// Enqueue latency is sampled 1 push in kSampleEvery (cf.
+  /// ModuleManager::kLatencySampleEvery).
+  static constexpr std::uint64_t kSampleEvery = 16;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::vector<Item> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+  Stats stats_;
+  obs::Gauge depth_;
+  obs::Histogram enqueueNs_;
+  obs::Histogram queueWaitNs_;
+  obs::Histogram batchSize_;
+};
+
+inline const char* backpressureName(Backpressure p) {
+  switch (p) {
+    case Backpressure::kBlock: return "block";
+    case Backpressure::kDropNewest: return "drop-newest";
+    case Backpressure::kDropOldest: return "drop-oldest";
+  }
+  return "?";
+}
+
+}  // namespace kalis::pipeline

@@ -1,0 +1,83 @@
+#include "pipeline/shard_key.hpp"
+
+namespace kalis::pipeline {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
+                    std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t hashRange(std::uint8_t salt, const std::uint8_t* data,
+                        std::size_t len) {
+  return fnv1a(fnv1a(kFnvOffset, &salt, 1), data, len);
+}
+
+/// WiFi: fc(2) | duration(2) | addr1(6) | addr2(6) | addr3(6) | seqctl(2).
+/// The logical source follows decodeWifi: station->AP data uses addr2,
+/// AP->station data uses addr3, everything else (management, neither-DS
+/// data) uses addr2.
+bool wifiSource(const net::CapturedPacket& pkt, const std::uint8_t*& addr) {
+  if (pkt.raw.size() < 24 + 4) return false;
+  const std::uint8_t fc0 = pkt.raw[0];
+  const std::uint8_t fc1 = pkt.raw[1];
+  if ((fc0 & 0x03) != 0) return false;  // protocol version must be 0
+  const std::uint8_t type = (fc0 >> 2) & 0x3;
+  const std::uint8_t subtype = (fc0 >> 4) & 0xf;
+  const bool mgmt = type == 0 && (subtype == 8 || subtype == 4 || subtype == 12);
+  if (!mgmt && type != 2) return false;
+  const bool toDs = (fc1 & 0x01) != 0;
+  const bool fromDs = (fc1 & 0x02) != 0;
+  // addr2 at offset 10, addr3 at offset 16.
+  addr = pkt.raw.data() + (!mgmt && fromDs && !toDs ? 16 : 10);
+  return true;
+}
+
+/// 802.15.4 (short addresses, PAN compression, as encoded here):
+/// FCF(2) | seq(1) | dstPan(2) | dst16(2) | src16(2) | payload | FCS(2).
+bool wpanSource(const net::CapturedPacket& pkt, const std::uint8_t*& addr) {
+  if (pkt.raw.size() < 9 + 2) return false;
+  addr = pkt.raw.data() + 7;
+  return true;
+}
+
+/// BLE advertising: header(1) | length(1) | advAddr(6) | advData.
+bool bleSource(const net::CapturedPacket& pkt, const std::uint8_t*& addr) {
+  if (pkt.raw.size() < 8) return false;
+  addr = pkt.raw.data() + 2;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t sourceShardKey(const net::CapturedPacket& pkt) {
+  const std::uint8_t salt = static_cast<std::uint8_t>(pkt.medium);
+  const std::uint8_t* addr = nullptr;
+  switch (pkt.medium) {
+    case net::Medium::kWifi:
+      if (wifiSource(pkt, addr)) return hashRange(salt, addr, 6);
+      break;
+    case net::Medium::kIeee802154:
+      if (wpanSource(pkt, addr)) return hashRange(salt, addr, 2);
+      break;
+    case net::Medium::kBluetooth:
+      if (bleSource(pkt, addr)) return hashRange(salt, addr, 6);
+      break;
+  }
+  return hashRange(salt, pkt.raw.data(), pkt.raw.size());
+}
+
+std::size_t shardOf(const net::CapturedPacket& pkt, std::size_t shardCount) {
+  if (shardCount <= 1) return 0;
+  return static_cast<std::size_t>(sourceShardKey(pkt) % shardCount);
+}
+
+}  // namespace kalis::pipeline

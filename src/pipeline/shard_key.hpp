@@ -1,0 +1,29 @@
+// Flow-affinity shard routing: hash a captured packet's link-layer source
+// address without paying for a full dissection.
+//
+// Per-device detection state (flood windows, watchdog counters, traffic
+// statistics) lives on exactly one worker because every packet from a given
+// transmitter hashes to the same shard. The extractors below peek at the
+// fixed header offsets of each medium and mirror the logical-source rules
+// of the real decoders (net::decodeWifi / decodeIeee802154 / decodeBleAdv),
+// so shardOf(pkt) agrees with Dissection::linkSource() on every frame the
+// dissector can parse. Unparseable frames fall back to hashing the whole
+// raw buffer — garbage still lands deterministically on some shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace kalis::pipeline {
+
+/// 64-bit FNV-1a hash of the link-layer source (medium-salted); packets
+/// with equal Dissection::linkSource() yield equal keys.
+std::uint64_t sourceShardKey(const net::CapturedPacket& pkt);
+
+/// Shard index for a packet: sourceShardKey(pkt) % shardCount (0 when
+/// shardCount <= 1).
+std::size_t shardOf(const net::CapturedPacket& pkt, std::size_t shardCount);
+
+}  // namespace kalis::pipeline

@@ -1,0 +1,537 @@
+// kalis::pipeline tests: ring-buffer backpressure policies (fired and
+// counted), shard-key/linkSource agreement, per-source shard affinity and
+// ordering, timestamp-ordered alert merging, drain-on-shutdown losslessness,
+// and bit-exact equivalence of deterministic mode with the direct
+// KalisNode::replayFeed path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "attacks/dos_attacks.hpp"
+#include "kalis/kalis_node.hpp"
+#include "kalis/siem_export.hpp"
+#include "pipeline/kalis_engine.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/ring_buffer.hpp"
+#include "pipeline/shard_key.hpp"
+#include "scenarios/environments.hpp"
+#include "trace/trace_file.hpp"
+
+namespace kalis {
+namespace {
+
+using pipeline::Backpressure;
+using pipeline::PacketRing;
+using pipeline::Pipeline;
+
+net::Mac48 mac(std::uint8_t tag) {
+  return net::Mac48{{0x02, 0x00, 0x00, 0x00, 0x00, tag}};
+}
+
+/// WiFi data frame from station `tag` to the AP, tagged via captureSeq.
+net::CapturedPacket wifiFrom(std::uint8_t tag, SimTime ts,
+                             std::uint64_t seq = 0) {
+  net::WifiFrame frame;
+  frame.kind = net::WifiFrameKind::kData;
+  frame.toDs = true;
+  frame.src = mac(tag);
+  frame.dst = mac(0xfe);
+  frame.bssid = mac(0xfe);
+  frame.body = {0x01, 0x02, 0x03, tag};
+  net::CapturedPacket pkt;
+  pkt.medium = net::Medium::kWifi;
+  pkt.raw = frame.encode();
+  pkt.meta.timestamp = ts;
+  pkt.meta.captureSeq = seq;
+  return pkt;
+}
+
+net::CapturedPacket wpanFrom(std::uint16_t src, SimTime ts) {
+  net::Ieee802154Frame frame;
+  frame.src = net::Mac16{src};
+  frame.dst = net::Mac16{0x0001};
+  frame.payload = {0xaa, 0xbb};
+  net::CapturedPacket pkt;
+  pkt.medium = net::Medium::kIeee802154;
+  pkt.raw = frame.encode();
+  pkt.meta.timestamp = ts;
+  return pkt;
+}
+
+net::CapturedPacket bleFrom(std::uint8_t tag, SimTime ts) {
+  net::BleAdvPdu adv;
+  adv.type = net::BlePduType::kAdvInd;
+  adv.advAddr = mac(tag);
+  adv.advData = {0x11, 0x22};
+  net::CapturedPacket pkt;
+  pkt.medium = net::Medium::kBluetooth;
+  pkt.raw = adv.encode();
+  pkt.meta.timestamp = ts;
+  return pkt;
+}
+
+/// Engine that records (captureSeq, shard) pairs into a shared collector
+/// and optionally dawdles per packet to force queue buildup.
+struct Recording {
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::size_t>> seen;  // (tag, shard)
+};
+
+class RecordingEngine : public pipeline::PacketEngine {
+ public:
+  RecordingEngine(Recording& rec, std::size_t shard,
+                  std::chrono::microseconds delay = {})
+      : rec_(rec), shard_(shard), delay_(delay) {}
+
+  void onPacket(const net::CapturedPacket& pkt) override {
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    {
+      std::lock_guard<std::mutex> lock(rec_.mu);
+      rec_.seen.emplace_back(pkt.meta.captureSeq, shard_);
+    }
+    watermark_ = pkt.meta.timestamp;
+  }
+  std::vector<ids::Alert> takeAlerts() override { return {}; }
+  SimTime watermark() const override { return watermark_; }
+
+ private:
+  Recording& rec_;
+  std::size_t shard_;
+  std::chrono::microseconds delay_;
+  SimTime watermark_ = 0;
+};
+
+/// Engine that raises one alert per packet, stamped with the capture time.
+class AlertPerPacketEngine : public pipeline::PacketEngine {
+ public:
+  explicit AlertPerPacketEngine(std::size_t shard) : shard_(shard) {}
+
+  void onPacket(const net::CapturedPacket& pkt) override {
+    ids::Alert alert;
+    alert.type = ids::AttackType::kUnknownAnomaly;
+    alert.time = pkt.meta.timestamp;
+    alert.moduleName = "shard" + std::to_string(shard_);
+    alert.detail = std::to_string(pkt.meta.captureSeq);
+    fresh_.push_back(alert);
+    watermark_ = pkt.meta.timestamp;
+  }
+  std::vector<ids::Alert> takeAlerts() override {
+    return std::exchange(fresh_, {});
+  }
+  SimTime watermark() const override { return watermark_; }
+
+ private:
+  std::size_t shard_;
+  std::vector<ids::Alert> fresh_;
+  SimTime watermark_ = 0;
+};
+
+// --- ring buffer ------------------------------------------------------------------
+
+TEST(PipelineRing, FifoBatchDequeue) {
+  PacketRing ring(8);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ring.push(wifiFrom(1, seconds(i), i), Backpressure::kBlock),
+              PacketRing::PushResult::kOk);
+  }
+  std::vector<PacketRing::Item> out;
+  EXPECT_EQ(ring.popBatch(out, 3), 3u);
+  EXPECT_EQ(ring.popBatch(out, 100), 2u);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].pkt.meta.captureSeq, i);
+  }
+  const PacketRing::Stats stats = ring.stats();
+  EXPECT_EQ(stats.pushed, 5u);
+  EXPECT_EQ(stats.popped, 5u);
+  EXPECT_EQ(stats.batches, 2u);
+}
+
+TEST(PipelineRing, DropNewestRejectsIncoming) {
+  PacketRing ring(4);
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    if (ring.push(wifiFrom(1, seconds(1), i), Backpressure::kDropNewest) !=
+        PacketRing::PushResult::kDroppedNewest) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 4u);
+  EXPECT_EQ(ring.stats().droppedNewest, 6u);
+  std::vector<PacketRing::Item> out;
+  ring.popBatch(out, 100);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].pkt.meta.captureSeq, 0u);  // oldest survived
+  EXPECT_EQ(out[3].pkt.meta.captureSeq, 3u);
+}
+
+TEST(PipelineRing, DropOldestEvictsQueued) {
+  PacketRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto r = ring.push(wifiFrom(1, seconds(1), i), Backpressure::kDropOldest);
+    EXPECT_NE(r, PacketRing::PushResult::kDroppedNewest);
+  }
+  EXPECT_EQ(ring.stats().droppedOldest, 6u);
+  EXPECT_EQ(ring.stats().pushed, 10u);
+  std::vector<PacketRing::Item> out;
+  ring.popBatch(out, 100);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].pkt.meta.captureSeq, 6u);  // newest survived
+  EXPECT_EQ(out[3].pkt.meta.captureSeq, 9u);
+}
+
+TEST(PipelineRing, CloseRejectsPushAndDrains) {
+  PacketRing ring(4);
+  ring.push(wifiFrom(1, seconds(1), 7), Backpressure::kBlock);
+  ring.close();
+  EXPECT_EQ(ring.push(wifiFrom(1, seconds(2), 8), Backpressure::kBlock),
+            PacketRing::PushResult::kClosed);
+  std::vector<PacketRing::Item> out;
+  EXPECT_EQ(ring.popBatch(out, 100), 1u);  // drain-on-shutdown
+  EXPECT_EQ(out[0].pkt.meta.captureSeq, 7u);
+  EXPECT_EQ(ring.popBatch(out, 100), 0u);  // closed and empty
+}
+
+// --- shard keys -------------------------------------------------------------------
+
+TEST(PipelineShardKey, AgreesWithDissectionLinkSource) {
+  std::vector<net::CapturedPacket> pkts;
+  for (std::uint8_t tag : {1, 2, 3, 9}) pkts.push_back(wifiFrom(tag, seconds(1)));
+  // AP -> station direction (fromDs): source is addr3.
+  {
+    net::WifiFrame frame;
+    frame.kind = net::WifiFrameKind::kData;
+    frame.fromDs = true;
+    frame.src = mac(0x30);
+    frame.dst = mac(2);
+    frame.bssid = mac(0xfe);
+    frame.body = {0x00};
+    net::CapturedPacket pkt;
+    pkt.medium = net::Medium::kWifi;
+    pkt.raw = frame.encode();
+    pkts.push_back(pkt);
+  }
+  // Management frame (beacon).
+  {
+    net::WifiFrame beacon;
+    beacon.kind = net::WifiFrameKind::kBeacon;
+    beacon.src = mac(0xfe);
+    beacon.dst = net::Mac48::broadcast();
+    beacon.bssid = mac(0xfe);
+    beacon.body = net::beaconBody("lab");
+    net::CapturedPacket pkt;
+    pkt.medium = net::Medium::kWifi;
+    pkt.raw = beacon.encode();
+    pkts.push_back(pkt);
+  }
+  for (std::uint16_t src : {0x0002, 0x0007}) pkts.push_back(wpanFrom(src, seconds(1)));
+  for (std::uint8_t tag : {0x41, 0x42}) pkts.push_back(bleFrom(tag, seconds(1)));
+
+  // Same dissected link source <=> same shard key.
+  std::map<std::string, std::uint64_t> keyBySource;
+  for (const auto& pkt : pkts) {
+    const std::string source = net::dissect(pkt).linkSource();
+    ASSERT_NE(source, "?");
+    const std::uint64_t key = pipeline::sourceShardKey(pkt);
+    auto [it, inserted] = keyBySource.emplace(source, key);
+    EXPECT_EQ(it->second, key) << "source " << source;
+  }
+  // Distinct sources should not all collapse onto one key.
+  std::set<std::uint64_t> distinct;
+  for (const auto& [src, key] : keyBySource) distinct.insert(key);
+  EXPECT_GT(distinct.size(), keyBySource.size() / 2);
+
+  // Garbage frames still route deterministically.
+  net::CapturedPacket garbage;
+  garbage.medium = net::Medium::kWifi;
+  garbage.raw = {0x01, 0x02, 0x03};
+  EXPECT_EQ(pipeline::sourceShardKey(garbage),
+            pipeline::sourceShardKey(garbage));
+}
+
+// --- backpressure through the pipeline --------------------------------------------
+
+TEST(PipelineBackpressure, DropNewestFiresAndIsCounted) {
+  pipeline::Options opts;
+  opts.workers = 1;
+  opts.queueCapacity = 8;
+  opts.policy = Backpressure::kDropNewest;
+  Recording rec;
+  Pipeline pipe(opts, [&rec](std::size_t shard) {
+    return std::make_unique<RecordingEngine>(rec, shard);
+  });
+  // Before start() nothing consumes, so exactly capacity packets fit.
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    if (pipe.enqueue(wifiFrom(1, seconds(1) + i, i))) ++accepted;
+  }
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(pipe.droppedNewest(), 4u);
+  pipe.start();
+  pipe.stop();
+  EXPECT_EQ(pipe.processed(), 8u);
+  ASSERT_EQ(rec.seen.size(), 8u);
+  EXPECT_EQ(rec.seen.front().first, 0u);
+
+  obs::Registry reg;
+  pipe.collectMetrics(reg, "pipeline");
+  EXPECT_EQ(reg.counterValue("pipeline.dropped_newest"), 4u);
+  EXPECT_EQ(reg.counterValue("pipeline.processed"), 8u);
+}
+
+TEST(PipelineBackpressure, DropOldestKeepsNewestAndIsCounted) {
+  pipeline::Options opts;
+  opts.workers = 1;
+  opts.queueCapacity = 8;
+  opts.policy = Backpressure::kDropOldest;
+  Recording rec;
+  Pipeline pipe(opts, [&rec](std::size_t shard) {
+    return std::make_unique<RecordingEngine>(rec, shard);
+  });
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(pipe.enqueue(wifiFrom(1, seconds(1) + i, i)));
+  }
+  EXPECT_EQ(pipe.droppedOldest(), 4u);
+  pipe.start();
+  pipe.stop();
+  ASSERT_EQ(rec.seen.size(), 8u);
+  EXPECT_EQ(rec.seen.front().first, 4u);  // tags 0..3 were evicted
+  EXPECT_EQ(rec.seen.back().first, 11u);
+}
+
+TEST(PipelineBackpressure, BlockPolicyIsLossless) {
+  pipeline::Options opts;
+  opts.workers = 1;
+  opts.queueCapacity = 4;
+  opts.maxBatch = 2;
+  opts.policy = Backpressure::kBlock;
+  Recording rec;
+  Pipeline pipe(opts, [&rec](std::size_t shard) {
+    return std::make_unique<RecordingEngine>(rec, shard,
+                                             std::chrono::microseconds(200));
+  });
+  pipe.start();
+  const std::uint64_t kPackets = 64;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    EXPECT_TRUE(pipe.enqueue(wifiFrom(1, seconds(1) + i, i)));
+  }
+  pipe.stop();
+  EXPECT_EQ(pipe.processed(), kPackets);
+  EXPECT_EQ(pipe.dropped(), 0u);
+  ASSERT_EQ(rec.seen.size(), kPackets);
+  // FIFO preserved under blocking.
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    EXPECT_EQ(rec.seen[i].first, i);
+  }
+}
+
+// --- shard affinity ---------------------------------------------------------------
+
+TEST(PipelineShardAffinity, SourcesStickToOneShardInOrder) {
+  pipeline::Options opts;
+  opts.workers = 4;
+  opts.queueCapacity = 256;
+  Recording rec;
+  Pipeline pipe(opts, [&rec](std::size_t shard) {
+    return std::make_unique<RecordingEngine>(rec, shard);
+  });
+  pipe.start();
+  // 8 sources, 40 packets each, interleaved. captureSeq encodes
+  // source * 1000 + per-source sequence number.
+  const std::size_t kSources = 8;
+  const std::uint64_t kPerSource = 40;
+  for (std::uint64_t i = 0; i < kPerSource; ++i) {
+    for (std::size_t s = 0; s < kSources; ++s) {
+      const auto tag = static_cast<std::uint8_t>(s + 1);
+      ASSERT_TRUE(pipe.enqueue(
+          wifiFrom(tag, seconds(1) + i, s * 1000 + i)));
+    }
+  }
+  pipe.stop();
+  ASSERT_EQ(rec.seen.size(), kSources * kPerSource);
+
+  std::map<std::uint64_t, std::size_t> shardOfSource;
+  std::map<std::uint64_t, std::uint64_t> lastSeq;
+  std::set<std::size_t> shardsUsed;
+  for (const auto& [tag, shard] : rec.seen) {
+    const std::uint64_t source = tag / 1000;
+    const std::uint64_t seq = tag % 1000;
+    auto [it, inserted] = shardOfSource.emplace(source, shard);
+    EXPECT_EQ(it->second, shard) << "source " << source << " hopped shards";
+    auto [sit, first] = lastSeq.emplace(source, seq);
+    if (!first) {
+      EXPECT_LT(sit->second, seq) << "source " << source << " reordered";
+      sit->second = seq;
+    }
+    shardsUsed.insert(shard);
+  }
+  EXPECT_EQ(shardOfSource.size(), kSources);
+  EXPECT_GT(shardsUsed.size(), 1u) << "hash sent every source to one shard";
+}
+
+// --- ordered alert merge ----------------------------------------------------------
+
+TEST(PipelineMergeOrder, AlertsEmitInTimestampOrder) {
+  pipeline::Options opts;
+  opts.workers = 4;
+  opts.queueCapacity = 512;
+  std::vector<ids::Alert> sunk;
+  std::mutex sunkMu;
+  Pipeline pipe(opts, [](std::size_t shard) {
+    return std::make_unique<AlertPerPacketEngine>(shard);
+  });
+  pipe.setAlertSink([&](const ids::Alert& a) {
+    std::lock_guard<std::mutex> lock(sunkMu);
+    sunk.push_back(a);
+  });
+  pipe.start();
+  const std::size_t kSources = 8;
+  const std::uint64_t kPerSource = 50;
+  for (std::uint64_t i = 0; i < kPerSource; ++i) {
+    for (std::size_t s = 0; s < kSources; ++s) {
+      ASSERT_TRUE(pipe.enqueue(wifiFrom(static_cast<std::uint8_t>(s + 1),
+                                        seconds(1) + i * 1000, i)));
+    }
+  }
+  pipe.stop();
+  ASSERT_EQ(sunk.size(), kSources * kPerSource);
+  for (std::size_t i = 1; i < sunk.size(); ++i) {
+    EXPECT_LE(sunk[i - 1].time, sunk[i].time) << "merge emitted out of order";
+  }
+  // The merged record matches the sink stream.
+  ASSERT_EQ(pipe.alerts().size(), sunk.size());
+  for (std::size_t i = 0; i < sunk.size(); ++i) {
+    EXPECT_EQ(pipe.alerts()[i].time, sunk[i].time);
+    EXPECT_EQ(pipe.alerts()[i].detail, sunk[i].detail);
+  }
+}
+
+// --- drain on shutdown ------------------------------------------------------------
+
+TEST(PipelineDrain, StopLosesNoEnqueuedPacket) {
+  pipeline::Options opts;
+  opts.workers = 4;
+  opts.queueCapacity = 1024;
+  opts.policy = Backpressure::kBlock;
+  Recording rec;
+  Pipeline pipe(opts, [&rec](std::size_t shard) {
+    return std::make_unique<RecordingEngine>(rec, shard);
+  });
+  pipe.start();
+  const std::uint64_t kPackets = 500;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    ASSERT_TRUE(pipe.enqueue(
+        wifiFrom(static_cast<std::uint8_t>(1 + i % 16), seconds(1) + i, i)));
+  }
+  pipe.stop();  // immediately: queued packets must still be processed
+  EXPECT_EQ(pipe.enqueued(), kPackets);
+  EXPECT_EQ(pipe.processed(), kPackets);
+  EXPECT_EQ(pipe.dropped(), 0u);
+  EXPECT_EQ(rec.seen.size(), kPackets);
+}
+
+// --- deterministic mode == direct replayFeed --------------------------------------
+
+/// Records a short HomeWifi run with an ICMP flood, as trace_replay does.
+trace::Trace captureAttackTrace(std::uint64_t seed) {
+  sim::Simulator simulator(seed);
+  sim::World world(simulator);
+  sim::InternetCloud cloud;
+  scenarios::HomeWifi home = scenarios::buildHomeWifi(world, cloud, seed);
+
+  const NodeId attacker =
+      world.addNode("attacker", sim::NodeRole::kGeneric, {18, 16});
+  world.enableRadio(attacker, net::Medium::kWifi);
+  attacks::IcmpFloodAttacker::Config attack;
+  attack.victimIp = world.ipv4Of(home.thermostat);
+  attack.victimMac = world.mac48Of(home.thermostat);
+  attack.bssid = world.mac48Of(home.router);
+  attack.firstBurstAt = seconds(8);
+  attack.burstCount = 2;
+  world.setBehavior(attacker,
+                    std::make_unique<attacks::IcmpFloodAttacker>(attack));
+
+  trace::Trace captured;
+  world.addSniffer(home.ids, net::Medium::kWifi,
+                   [&](const net::CapturedPacket& pkt) {
+                     captured.push_back(pkt);
+                   });
+  world.start();
+  simulator.runUntil(seconds(25));
+  return captured;
+}
+
+TEST(PipelineDeterminism, MatchesDirectReplayFeedByteForByte) {
+  const trace::Trace trace = captureAttackTrace(21);
+  ASSERT_GT(trace.size(), 100u);
+  const SimTime drainUntil = seconds(30);
+
+  // Synchronous path: one node fed directly.
+  sim::Simulator directSim(7);
+  ids::KalisNode direct(directSim);
+  direct.useStandardLibrary();
+  direct.start();
+  for (const auto& pkt : trace) direct.replayFeed(pkt);
+  directSim.runUntil(drainUntil);
+
+  // Deterministic pipeline: single shard, caller thread, same seed.
+  pipeline::Options opts;
+  opts.deterministic = true;
+  pipeline::KalisEngineOptions engineOpts;
+  engineOpts.seedBase = 7;
+  engineOpts.drainUntil = drainUntil;
+  engineOpts.configure = [](ids::KalisNode& node) {
+    node.useStandardLibrary();
+  };
+  Pipeline pipe(opts, pipeline::makeKalisEngineFactory(engineOpts));
+  pipe.start();
+  for (const auto& pkt : trace) ASSERT_TRUE(pipe.enqueue(pkt));
+  pipe.stop();
+
+  ASSERT_GT(direct.alerts().size(), 0u) << "attack trace raised no alerts";
+  ASSERT_EQ(pipe.alerts().size(), direct.alerts().size());
+  for (std::size_t i = 0; i < direct.alerts().size(); ++i) {
+    // Byte-for-byte: compare the serialized SIEM records.
+    EXPECT_EQ(ids::toSiemJson(pipe.alerts()[i]),
+              ids::toSiemJson(direct.alerts()[i]))
+        << "alert " << i << " diverged";
+  }
+  EXPECT_EQ(pipe.processed(), trace.size());
+  EXPECT_EQ(pipe.dropped(), 0u);
+}
+
+/// Multi-worker mode on the same trace still finds the flood (all flood
+/// packets share one link source, so one shard owns the whole attack).
+TEST(PipelineDeterminism, ThreadedModeStillDetectsFlood) {
+  const trace::Trace trace = captureAttackTrace(21);
+  pipeline::Options opts;
+  opts.workers = 4;
+  pipeline::KalisEngineOptions engineOpts;
+  engineOpts.seedBase = 7;
+  engineOpts.drainUntil = seconds(30);
+  engineOpts.configure = [](ids::KalisNode& node) {
+    node.useStandardLibrary();
+  };
+  Pipeline pipe(opts, pipeline::makeKalisEngineFactory(engineOpts));
+  pipe.start();
+  for (const auto& pkt : trace) ASSERT_TRUE(pipe.enqueue(pkt));
+  pipe.stop();
+  EXPECT_EQ(pipe.processed(), trace.size());
+  EXPECT_EQ(pipe.dropped(), 0u);
+  bool floodAlert = false;
+  for (const auto& alert : pipe.alerts()) {
+    if (alert.type == ids::AttackType::kIcmpFlood) floodAlert = true;
+  }
+  EXPECT_TRUE(floodAlert);
+  for (std::size_t i = 1; i < pipe.alerts().size(); ++i) {
+    EXPECT_LE(pipe.alerts()[i - 1].time, pipe.alerts()[i].time);
+  }
+}
+
+}  // namespace
+}  // namespace kalis
