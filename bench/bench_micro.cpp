@@ -47,7 +47,7 @@ void BM_KnowledgeBasePut(benchmark::State& state) {
   ids::KnowledgeBase kb("K1");
   std::uint64_t i = 0;
   for (auto _ : state) {
-    kb.putDouble("TrafficFrequency.TCPSYN", static_cast<double>(i % 97));
+    kb.put("TrafficFrequency.TCPSYN", static_cast<double>(i % 97));
     ++i;
   }
 }
@@ -56,11 +56,11 @@ BENCHMARK(BM_KnowledgeBasePut);
 void BM_KnowledgeBaseLookup(benchmark::State& state) {
   ids::KnowledgeBase kb("K1");
   for (int i = 0; i < 256; ++i) {
-    kb.putInt("SignalStrength", -60 - i % 30, "0x" + std::to_string(i));
+    kb.put("SignalStrength", -60 - i % 30, "0x" + std::to_string(i));
   }
-  kb.putBool("Multihop", true);
+  kb.put("Multihop", true);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(kb.localBool("Multihop"));
+    benchmark::DoNotOptimize(kb.local<bool>("Multihop"));
   }
 }
 BENCHMARK(BM_KnowledgeBaseLookup);
@@ -68,7 +68,7 @@ BENCHMARK(BM_KnowledgeBaseLookup);
 void BM_KnowledgeBaseEntityScan(benchmark::State& state) {
   ids::KnowledgeBase kb("K1");
   for (int i = 0; i < 256; ++i) {
-    kb.putInt("SignalStrength", -60 - i % 30, "0x" + std::to_string(i));
+    kb.put("SignalStrength", -60 - i % 30, "0x" + std::to_string(i));
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(kb.byEntity("0x128"));

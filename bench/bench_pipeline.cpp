@@ -2,13 +2,16 @@
 // multi-worker pipeline at 1/2/4/8 workers versus the synchronous
 // single-node path, on a synthetic multi-device WiFi trace. The block
 // policy is used throughout, so every configuration must be lossless.
+// Every worker sweep runs twice — with the cross-shard knowledge exchange
+// off and on — and the on/off throughput delta is printed per worker count.
 //
 //   ./bench_pipeline [packetsPerDevice] [devices]
 //
 // Emits BENCH_pipeline.json next to the binary ($KALIS_METRICS_OUT
-// overrides) plus a kalis::obs registry snapshot of the 4-worker run.
-// Speedups depend on std::thread::hardware_concurrency(), which is recorded
-// in the JSON; single-core machines will show ~1x.
+// overrides) plus a kalis::obs registry snapshot of the 4-worker
+// exchange-enabled run. Speedups depend on
+// std::thread::hardware_concurrency(), which is recorded in the JSON;
+// single-core machines will show ~1x.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -84,11 +87,15 @@ trace::Trace syntheticTrace(std::size_t devices, std::size_t perDevice) {
 struct RunResult {
   std::string name;
   std::size_t workers = 0;
+  bool exchange = false;
   double wallSec = 0;
   double pps = 0;
   std::uint64_t processed = 0;
   std::uint64_t dropped = 0;
   std::size_t alerts = 0;
+  std::uint64_t knowledgePublished = 0;
+  std::uint64_t knowledgeApplied = 0;
+  std::uint64_t knowledgeDroppedInFlight = 0;
 };
 
 pipeline::KalisEngineOptions engineOptions(SimTime drainUntil) {
@@ -118,11 +125,13 @@ RunResult runSynchronous(const trace::Trace& trace, SimTime drainUntil) {
 }
 
 RunResult runPipeline(const trace::Trace& trace, std::size_t workers,
-                      SimTime drainUntil, obs::Registry* metricsOut) {
+                      SimTime drainUntil, bool exchange,
+                      obs::Registry* metricsOut) {
   pipeline::Options opts;
   opts.workers = workers;
   opts.queueCapacity = 8192;
   opts.policy = pipeline::Backpressure::kBlock;
+  opts.knowledgeExchange = exchange;
   pipeline::Pipeline pipe(opts,
                           pipeline::makeKalisEngineFactory(engineOptions(drainUntil)));
   pipe.start();
@@ -135,24 +144,29 @@ RunResult runPipeline(const trace::Trace& trace, std::size_t workers,
   }
   pipe.stop();
   const double wall = nowSec() - t0;
-  if (pipe.processed() != trace.size() || pipe.dropped() != 0) {
+  const pipeline::Pipeline::Stats stats = pipe.stats();
+  if (stats.processed != trace.size() || stats.dropped() != 0) {
     std::fprintf(stderr,
                  "bench_pipeline: loss under block policy (%llu/%zu, %llu "
                  "dropped)\n",
-                 static_cast<unsigned long long>(pipe.processed()),
+                 static_cast<unsigned long long>(stats.processed),
                  trace.size(),
-                 static_cast<unsigned long long>(pipe.dropped()));
+                 static_cast<unsigned long long>(stats.dropped()));
     std::exit(1);
   }
   if (metricsOut) pipe.collectMetrics(*metricsOut, "pipeline");
   RunResult r;
-  r.name = "pipeline_w" + std::to_string(workers);
+  r.name = "pipeline_w" + std::to_string(workers) + (exchange ? "_xchg" : "");
   r.workers = workers;
+  r.exchange = exchange;
   r.wallSec = wall;
   r.pps = wall > 0 ? static_cast<double>(trace.size()) / wall : 0;
-  r.processed = pipe.processed();
-  r.dropped = pipe.dropped();
+  r.processed = stats.processed;
+  r.dropped = stats.dropped();
   r.alerts = pipe.alerts().size();
+  r.knowledgePublished = stats.knowledgePublished;
+  r.knowledgeApplied = stats.knowledgeApplied;
+  r.knowledgeDroppedInFlight = stats.knowledgeDroppedInFlight;
   return r;
 }
 
@@ -179,16 +193,36 @@ int main(int argc, char** argv) {
   obs::Registry pipelineMetrics;
   for (std::size_t workers : {1u, 2u, 4u, 8u}) {
     results.push_back(runPipeline(trace, workers, drainUntil,
+                                  /*exchange=*/false, nullptr));
+  }
+  // Same sweep with the cross-shard knowledge exchange on, quantifying the
+  // cost of collective knowledge sharing. The 4-worker exchange run feeds
+  // the kalis::obs snapshot so exchange-ring metrics land in the artifact.
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    results.push_back(runPipeline(trace, workers, drainUntil,
+                                  /*exchange=*/true,
                                   workers == 4 ? &pipelineMetrics : nullptr));
   }
 
   const double basePps = results.front().pps;
-  std::printf("\n%-14s %8s %12s %12s %10s %8s\n", "config", "workers",
-              "wall_sec", "pkts/sec", "speedup", "alerts");
+  std::printf("\n%-18s %8s %12s %12s %10s %8s %10s\n", "config", "workers",
+              "wall_sec", "pkts/sec", "speedup", "alerts", "kb_pub");
   for (const RunResult& r : results) {
-    std::printf("%-14s %8zu %12.3f %12.0f %9.2fx %8zu\n", r.name.c_str(),
+    std::printf("%-18s %8zu %12.3f %12.0f %9.2fx %8zu %10llu\n", r.name.c_str(),
                 r.workers, r.wallSec, r.pps,
-                basePps > 0 ? r.pps / basePps : 0, r.alerts);
+                basePps > 0 ? r.pps / basePps : 0, r.alerts,
+                static_cast<unsigned long long>(r.knowledgePublished));
+  }
+  // Exchange on/off throughput delta at matching worker counts.
+  for (const RunResult& on : results) {
+    if (!on.exchange) continue;
+    for (const RunResult& off : results) {
+      if (off.exchange || off.workers != on.workers || off.workers == 0) continue;
+      std::printf("exchange overhead @%zu workers: %.1f%% (%.0f -> %.0f pps)\n",
+                  on.workers,
+                  off.pps > 0 ? (1.0 - on.pps / off.pps) * 100.0 : 0.0,
+                  off.pps, on.pps);
+    }
   }
 
   // BENCH_pipeline.json: machine-readable acceptance artifact. Fixed name —
@@ -207,11 +241,15 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     out << "    {\"name\": \"" << r.name << "\", \"workers\": " << r.workers
+        << ", \"exchange\": " << (r.exchange ? "true" : "false")
         << ", \"wall_sec\": " << r.wallSec << ", \"pps\": " << r.pps
         << ", \"speedup\": " << (basePps > 0 ? r.pps / basePps : 0)
         << ", \"processed\": " << r.processed << ", \"dropped\": " << r.dropped
-        << ", \"alerts\": " << r.alerts << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"alerts\": " << r.alerts
+        << ", \"knowledge_published\": " << r.knowledgePublished
+        << ", \"knowledge_applied\": " << r.knowledgeApplied
+        << ", \"knowledge_dropped_in_flight\": " << r.knowledgeDroppedInFlight
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   out.close();

@@ -55,12 +55,12 @@ int main() {
   // established in the Knowledge Base.
   std::printf("\nConsistency check: Fig. 3 'impossible' cells vs module activation\n");
   KnowledgeBase kb("K1");
-  kb.putBool(labels::kMultihop, false);
-  kb.putBool(labels::kMultihopWpan, false);
-  kb.putBool(labels::kMultihopWifi, false);
-  kb.putBool("Protocols.ICMP", true);
-  kb.putBool("Protocols.TCP", true);
-  kb.putBool("Protocols.CTP", true);
+  kb.put(labels::kMultihop, false);
+  kb.put(labels::kMultihopWpan, false);
+  kb.put(labels::kMultihopWifi, false);
+  kb.put("Protocols.ICMP", true);
+  kb.put("Protocols.TCP", true);
+  kb.put("Protocols.CTP", true);
 
   int checked = 0;
   int violations = 0;
@@ -81,18 +81,18 @@ int main() {
   check("SinkholeModule", false, "single-hop network");
   check("IcmpFloodModule", true, "single-hop network");
 
-  kb.putBool(labels::kMultihop, true);
-  kb.putBool(labels::kMultihopWpan, true);
+  kb.put(labels::kMultihop, true);
+  kb.put(labels::kMultihopWpan, true);
   check("SmurfModule", true, "multi-hop network");
   check("SelectiveForwardingModule", true, "multi-hop network");
   check("DataAlterationModule", true, "multi-hop, no crypto");
-  kb.putBool("LinkEncryption.P802154", true);
+  kb.put("LinkEncryption.P802154", true);
   check("DataAlterationModule", false, "multi-hop, crypto deployed");
 
-  kb.putBool(labels::kMobility, false);
+  kb.put(labels::kMobility, false);
   check("ReplicationStaticModule", true, "static network");
   check("ReplicationMobileModule", false, "static network");
-  kb.putBool(labels::kMobility, true);
+  kb.put(labels::kMobility, true);
   check("ReplicationStaticModule", false, "mobile network");
   check("ReplicationMobileModule", true, "mobile network");
 

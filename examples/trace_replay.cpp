@@ -10,7 +10,12 @@
 // --workers 0 selects deterministic (single-shard, caller-thread) mode,
 // which reproduces the direct path byte-for-byte.
 //
-//   ./trace_replay [seed] [--pipeline] [--workers N]
+// --kb-sync MS additionally turns on the cross-shard collective knowledge
+// exchange (DESIGN.md §8) with the given sync interval in virtual
+// milliseconds, so shard engines share collective knowggets just as peered
+// Kalis nodes do over one-way channels.
+//
+//   ./trace_replay [seed] [--pipeline] [--workers N] [--kb-sync MS]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,11 +76,16 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 21;
   bool usePipeline = false;
   std::size_t workers = 4;
+  bool kbSync = false;
+  std::uint64_t kbSyncMs = 10;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pipeline") == 0) {
       usePipeline = true;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--kb-sync") == 0 && i + 1 < argc) {
+      kbSync = true;
+      kbSyncMs = std::strtoull(argv[++i], nullptr, 10);
     } else {
       seed = std::strtoull(argv[i], nullptr, 10);
     }
@@ -105,6 +115,8 @@ int main(int argc, char** argv) {
     popts.deterministic = workers == 0;
     popts.workers = workers == 0 ? 1 : workers;
     popts.policy = pipeline::Backpressure::kBlock;
+    popts.knowledgeExchange = kbSync;
+    popts.knowledgeSyncInterval = milliseconds(kbSyncMs);
     pipeline::KalisEngineOptions eopts;
     eopts.seedBase = 99;
     eopts.drainUntil = seconds(80);
@@ -113,9 +125,10 @@ int main(int argc, char** argv) {
     pipe.setAlertSink([](const ids::Alert& alert) {
       std::printf("REPLAY ALERT  %s\n", ids::toString(alert).c_str());
     });
-    std::printf("Replaying through kalis::pipeline (%s, %zu shard%s)\n",
+    std::printf("Replaying through kalis::pipeline (%s, %zu shard%s%s)\n",
                 popts.deterministic ? "deterministic" : "threaded",
-                pipe.shardCount(), pipe.shardCount() == 1 ? "" : "s");
+                pipe.shardCount(), pipe.shardCount() == 1 ? "" : "s",
+                kbSync ? ", knowledge exchange on" : "");
     pipe.start();
     for (const net::CapturedPacket& pkt : reloaded.packets) pipe.enqueue(pkt);
     pipe.stop();
@@ -123,10 +136,19 @@ int main(int argc, char** argv) {
     const auto eval = metrics::evaluate(truth, pipe.alerts());
     std::printf("\nOffline detection rate over the replayed trace: %.0f%%\n",
                 eval.detectionRate() * 100.0);
+    const pipeline::Pipeline::Stats stats = pipe.stats();
     std::printf("Pipeline: %llu enqueued, %llu processed, %llu dropped\n",
-                static_cast<unsigned long long>(pipe.enqueued()),
-                static_cast<unsigned long long>(pipe.processed()),
-                static_cast<unsigned long long>(pipe.dropped()));
+                static_cast<unsigned long long>(stats.enqueued),
+                static_cast<unsigned long long>(stats.processed),
+                static_cast<unsigned long long>(stats.dropped()));
+    if (kbSync) {
+      std::printf("Knowledge exchange: %llu published, %llu applied, "
+                  "%llu rejected, %llu dropped in flight\n",
+                  static_cast<unsigned long long>(stats.knowledgePublished),
+                  static_cast<unsigned long long>(stats.knowledgeApplied),
+                  static_cast<unsigned long long>(stats.knowledgeRejected),
+                  static_cast<unsigned long long>(stats.knowledgeDroppedInFlight));
+    }
 
     obs::Registry reg;
     pipe.collectMetrics(reg, "pipeline");

@@ -10,7 +10,9 @@
 // Debug builds bind an ownership checker on the first mutation and abort on
 // access from any other thread. Reads (window(), memoryBytes()) follow the
 // same confinement; there is no synchronization to make them safe
-// elsewhere.
+// elsewhere. Unlike the KnowledgeBase — whose collective knowggets cross
+// shards as copies through the pipeline's KnowledgeExchange rings
+// (DESIGN.md §8) — DataStore contents never leave the owning shard.
 #pragma once
 
 #include <functional>

@@ -14,18 +14,19 @@ KalisNode::KalisNode(sim::Simulator& sim, Options options)
       manager_(kb_, dataStore_),
       alive_(std::make_shared<bool>(true)) {
   kb_.setClock([this] { return sim_.now(); });
-  kb_.setCollectiveSink([this](const Knowgget& k) {
-    // Push the changed collective knowgget to every discovered peer over a
-    // one-way channel with the configured latency.
-    for (KalisNode* peer : peers_) {
-      ++collectiveSent_;
-      std::weak_ptr<bool> peerAlive = peer->alive_;
-      sim_.schedule(options_.peerSyncLatency, [peer, peerAlive, k] {
-        if (peerAlive.expired()) return;
-        peer->receiveCollective(k);
-      });
-    }
-  });
+}
+
+void KalisNode::sendToPeers(const Knowgget& k) {
+  // Push the changed collective knowgget to every discovered peer over a
+  // one-way channel with the configured latency.
+  for (KalisNode* peer : peers_) {
+    ++collectiveSent_;
+    std::weak_ptr<bool> peerAlive = peer->alive_;
+    sim_.schedule(options_.peerSyncLatency, [peer, peerAlive, k] {
+      if (peerAlive.expired()) return;
+      peer->receiveCollective(k);
+    });
+  }
 }
 
 KalisNode::~KalisNode() { *alive_ = false; }
@@ -117,6 +118,9 @@ void KalisNode::addPeer(KalisNode* peer) {
   for (KalisNode* existing : peers_) {
     if (existing == peer) return;
   }
+  // Hook the peer channel into the CollectiveSink seam on first discovery;
+  // a node with no peers never registers (and never pays the fan-out).
+  if (peers_.empty()) kb_.addCollectiveSink(&peerChannel_);
   peers_.push_back(peer);
 }
 

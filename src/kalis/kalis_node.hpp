@@ -112,8 +112,17 @@ class KalisNode {
   std::size_t memoryBytes() const;
 
  private:
+  /// CollectiveSink feeding the in-simulator one-way encrypted peer
+  /// channels; registered with the KB once the first peer is discovered.
+  struct PeerChannel final : CollectiveSink {
+    explicit PeerChannel(KalisNode& n) : node(n) {}
+    void onCollective(const Knowgget& k) override { node.sendToPeers(k); }
+    KalisNode& node;
+  };
+
   void tickLoop();
   void addPeer(KalisNode* peer);
+  void sendToPeers(const Knowgget& k);
   void receiveCollective(const Knowgget& k);
 
   sim::Simulator& sim_;
@@ -121,6 +130,7 @@ class KalisNode {
   KnowledgeBase kb_;
   DataStore dataStore_;
   ModuleManager manager_;
+  PeerChannel peerChannel_{*this};
   std::vector<KalisNode*> peers_;
   bool started_ = false;
   bool traditional_ = false;

@@ -36,8 +36,8 @@ std::optional<KeyParts> decodeKey(std::string_view key) {
 
 KnowledgeBase::KnowledgeBase(std::string selfId) : selfId_(std::move(selfId)) {}
 
-void KnowledgeBase::put(const std::string& label, const std::string& value,
-                        const std::string& entity, bool collective) {
+void KnowledgeBase::putEncoded(const std::string& label, std::string value,
+                               const std::string& entity, bool collective) {
   owner_.check("KnowledgeBase::put");
   if (!writesEnabled_) return;
   const std::string key = encodeKey(selfId_, label, entity);
@@ -46,7 +46,7 @@ void KnowledgeBase::put(const std::string& label, const std::string& value,
 
   Knowgget k;
   k.label = label;
-  k.value = value;
+  k.value = std::move(value);
   k.creator = selfId_;
   k.entity = entity;
   k.collective = collective;
@@ -54,22 +54,11 @@ void KnowledgeBase::put(const std::string& label, const std::string& value,
   store_[key] = k;
   publishes_.inc();
   notify(k);
-  if (collective && collectiveSink_) collectiveSink_(k);
-}
-
-void KnowledgeBase::putBool(const std::string& label, bool v,
-                            const std::string& entity, bool collective) {
-  put(label, v ? "true" : "false", entity, collective);
-}
-
-void KnowledgeBase::putInt(const std::string& label, long long v,
-                           const std::string& entity, bool collective) {
-  put(label, std::to_string(v), entity, collective);
-}
-
-void KnowledgeBase::putDouble(const std::string& label, double v,
-                              const std::string& entity, bool collective) {
-  put(label, formatDouble(v), entity, collective);
+  if (collective) {
+    // Snapshot: a sink may (un)register sinks while handling the knowgget.
+    const std::vector<CollectiveSink*> sinks = collectiveSinks_;
+    for (CollectiveSink* sink : sinks) sink->onCollective(k);
+  }
 }
 
 bool KnowledgeBase::putRemote(const Knowgget& k) {
@@ -108,32 +97,6 @@ std::optional<std::string> KnowledgeBase::raw(const std::string& key) const {
   auto it = store_.find(key);
   if (it == store_.end()) return std::nullopt;
   return it->second.value;
-}
-
-std::optional<std::string> KnowledgeBase::local(const std::string& label,
-                                                const std::string& entity) const {
-  return raw(encodeKey(selfId_, label, entity));
-}
-
-std::optional<bool> KnowledgeBase::localBool(const std::string& label,
-                                             const std::string& entity) const {
-  auto v = local(label, entity);
-  if (!v) return std::nullopt;
-  return parseBool(*v);
-}
-
-std::optional<long long> KnowledgeBase::localInt(const std::string& label,
-                                                 const std::string& entity) const {
-  auto v = local(label, entity);
-  if (!v) return std::nullopt;
-  return parseInt(*v);
-}
-
-std::optional<double> KnowledgeBase::localDouble(const std::string& label,
-                                                 const std::string& entity) const {
-  auto v = local(label, entity);
-  if (!v) return std::nullopt;
-  return parseDouble(*v);
 }
 
 std::vector<Knowgget> KnowledgeBase::byLabel(const std::string& label) const {
@@ -197,6 +160,22 @@ int KnowledgeBase::subscribe(const std::string& labelPattern, Subscription fn) {
   const int id = nextSubId_++;
   subs_.push_back(Sub{id, labelPattern, std::move(fn)});
   return id;
+}
+
+void KnowledgeBase::addCollectiveSink(CollectiveSink* sink) {
+  owner_.check("KnowledgeBase::addCollectiveSink");
+  if (sink == nullptr) return;
+  for (CollectiveSink* existing : collectiveSinks_) {
+    if (existing == sink) return;
+  }
+  collectiveSinks_.push_back(sink);
+}
+
+void KnowledgeBase::removeCollectiveSink(CollectiveSink* sink) {
+  owner_.check("KnowledgeBase::removeCollectiveSink");
+  collectiveSinks_.erase(
+      std::remove(collectiveSinks_.begin(), collectiveSinks_.end(), sink),
+      collectiveSinks_.end());
 }
 
 void KnowledgeBase::unsubscribe(int id) {

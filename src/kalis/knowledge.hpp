@@ -10,20 +10,33 @@
 // ("TrafficFrequency.TCPSYN"). Lookups by creator are prefix scans, lookups
 // by entity are suffix scans, and exact keys are direct hits.
 //
-// Collective knowledge: a knowgget marked collective is pushed, on change, to
-// a sink installed by the owning Kalis node, which forwards it to discovered
-// peers. Incoming remote knowggets may only create-or-update entries whose
-// creator matches the sending node — a peer can never overwrite another
-// node's knowledge (paper's one-way update rule).
+// Typed access goes through the single templated put<T>() / local<T>() pair:
+// any argument type is normalized onto one of the four canonical value kinds
+// (bool, long long, double, std::string) and encoded/decoded by the
+// explicitly specialized KnowggetCodec. The historical putBool/putInt/
+// putDouble and localBool/localInt/localDouble names survive as deprecated
+// inline delegates.
 //
-// Shard-confinement contract (DESIGN.md §7): a KnowledgeBase — store,
+// Collective knowledge: a knowgget marked collective is pushed, on change, to
+// the CollectiveSink seam. Two kinds of sink exist: the in-simulator one-way
+// peer channels installed by KalisNode::addPeer, and the cross-shard
+// KnowledgeExchange of kalis::pipeline. Incoming remote knowggets may only
+// create-or-update entries whose creator matches the sending node — a peer
+// can never overwrite another node's knowledge (paper's one-way update rule).
+//
+// Shard-confinement contract (DESIGN.md §7/§8): a KnowledgeBase — store,
 // subscriptions and sinks — is owned by exactly one thread for its
 // lifetime; it carries no locks by design. kalis::pipeline gives every
 // shard its own KB built on the owning worker thread. Debug builds bind an
 // ownership checker on the first mutation (put/putRemote/remove/subscribe)
 // and abort on any cross-thread access; reads follow the same confinement.
 // Collective sync via putRemote is a *same-thread* mechanism: peer nodes
-// must share the owner thread (and simulator), never cross shards.
+// must share the owner thread (and simulator). The one sanctioned way for
+// knowledge to cross shards is the pipeline's KnowledgeExchange ring
+// (DESIGN.md §8): a sink buffers changed collective knowggets on the owner
+// thread, the exchange carries copies between shards, and the receiving
+// worker applies them through putRemote on its own KB — every KB mutation
+// still happens on the owning thread.
 #pragma once
 
 #include <functional>
@@ -31,6 +44,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "util/metrics.hpp"
@@ -62,6 +76,69 @@ struct KeyParts {
 /// Inverse of encodeKey; nullopt if the '$' separator is missing.
 std::optional<KeyParts> decodeKey(std::string_view key);
 
+/// String codec for knowgget values (Fig. 5b stores every value as a
+/// string). Only the four explicit specializations below exist — they are
+/// the canonical value kinds of the Knowledge Base; put<T>()/local<T>()
+/// normalize every argument type onto one of them via KnowggetValueT.
+template <typename T>
+struct KnowggetCodec;
+
+template <>
+struct KnowggetCodec<bool> {
+  static std::string encode(bool v) { return v ? "true" : "false"; }
+  static std::optional<bool> decode(const std::string& s) {
+    return parseBool(s);
+  }
+};
+
+template <>
+struct KnowggetCodec<long long> {
+  static std::string encode(long long v) { return std::to_string(v); }
+  static std::optional<long long> decode(const std::string& s) {
+    return parseInt(s);
+  }
+};
+
+template <>
+struct KnowggetCodec<double> {
+  static std::string encode(double v) { return formatDouble(v); }
+  static std::optional<double> decode(const std::string& s) {
+    return parseDouble(s);
+  }
+};
+
+template <>
+struct KnowggetCodec<std::string> {
+  static std::string encode(std::string v) { return v; }
+  static std::optional<std::string> decode(std::string s) {
+    return std::optional<std::string>(std::move(s));
+  }
+};
+
+/// Maps an argument type onto its canonical knowgget value kind: bool stays
+/// bool, other integrals widen to long long, floating point widens to
+/// double, and everything else (std::string, const char*, string_view)
+/// becomes std::string.
+template <typename T>
+using KnowggetValueT = std::conditional_t<
+    std::is_same_v<std::decay_t<T>, bool>, bool,
+    std::conditional_t<
+        std::is_integral_v<std::decay_t<T>>, long long,
+        std::conditional_t<std::is_floating_point_v<std::decay_t<T>>, double,
+                           std::string>>>;
+
+/// Receives every changed local collective knowgget of a KnowledgeBase for
+/// propagation beyond the owning node. The two implementations are the
+/// in-simulator one-way peer channels (KalisNode::addPeer) and the
+/// cross-shard KnowledgeExchange of kalis::pipeline — one seam for both.
+/// Sinks are invoked synchronously on the KB owner thread and must not
+/// mutate the KB reentrantly.
+class CollectiveSink {
+ public:
+  virtual ~CollectiveSink() = default;
+  virtual void onCollective(const Knowgget& k) = 0;
+};
+
 class KnowledgeBase {
  public:
   /// `selfId` is this Kalis node's identifier (the creator stamped on local
@@ -75,17 +152,31 @@ class KnowledgeBase {
 
   // --- writes ---------------------------------------------------------------
 
-  /// Inserts/updates a local knowgget (creator = selfId). Subscriptions fire
-  /// only when the stored value actually changes.
-  void put(const std::string& label, const std::string& value,
-           const std::string& entity = "", bool collective = false);
+  /// Inserts/updates a local knowgget (creator = selfId), encoding `value`
+  /// through KnowggetCodec<KnowggetValueT<T>>. Subscriptions fire only when
+  /// the stored value actually changes.
+  template <typename T>
+  void put(const std::string& label, const T& value,
+           const std::string& entity = "", bool collective = false) {
+    putEncoded(label, KnowggetCodec<KnowggetValueT<T>>::encode(value), entity,
+               collective);
+  }
 
+  [[deprecated("use put(label, bool)")]]
   void putBool(const std::string& label, bool v, const std::string& entity = "",
-               bool collective = false);
+               bool collective = false) {
+    put(label, v, entity, collective);
+  }
+  [[deprecated("use put(label, long long)")]]
   void putInt(const std::string& label, long long v,
-              const std::string& entity = "", bool collective = false);
+              const std::string& entity = "", bool collective = false) {
+    put(label, v, entity, collective);
+  }
+  [[deprecated("use put(label, double)")]]
   void putDouble(const std::string& label, double v,
-                 const std::string& entity = "", bool collective = false);
+                 const std::string& entity = "", bool collective = false) {
+    put(label, v, entity, collective);
+  }
 
   /// Accepts a knowgget synchronized from a peer. Enforces the one-way rule:
   /// the update is rejected (returns false) if `k.creator` equals the local
@@ -100,16 +191,34 @@ class KnowledgeBase {
   /// Raw value by full key ("K1$Multihop").
   std::optional<std::string> raw(const std::string& key) const;
 
-  /// Local knowgget value (creator = selfId).
-  std::optional<std::string> local(const std::string& label,
-                                   const std::string& entity = "") const;
+  /// Local knowgget value (creator = selfId), decoded as T — one of the
+  /// four canonical value kinds. Defaults to the raw string form.
+  template <typename T = std::string>
+  std::optional<T> local(const std::string& label,
+                         const std::string& entity = "") const {
+    static_assert(
+        std::is_same_v<T, KnowggetValueT<T>>,
+        "local<T>: T must be bool, long long, double or std::string");
+    std::optional<std::string> v = raw(encodeKey(selfId_, label, entity));
+    if (!v) return std::nullopt;
+    return KnowggetCodec<T>::decode(*std::move(v));
+  }
 
+  [[deprecated("use local<bool>()")]]
   std::optional<bool> localBool(const std::string& label,
-                                const std::string& entity = "") const;
+                                const std::string& entity = "") const {
+    return local<bool>(label, entity);
+  }
+  [[deprecated("use local<long long>()")]]
   std::optional<long long> localInt(const std::string& label,
-                                    const std::string& entity = "") const;
+                                    const std::string& entity = "") const {
+    return local<long long>(label, entity);
+  }
+  [[deprecated("use local<double>()")]]
   std::optional<double> localDouble(const std::string& label,
-                                    const std::string& entity = "") const;
+                                    const std::string& entity = "") const {
+    return local<double>(label, entity);
+  }
 
   /// All knowggets with this exact label, from any creator/entity.
   std::vector<Knowgget> byLabel(const std::string& label) const;
@@ -136,11 +245,12 @@ class KnowledgeBase {
   int subscribe(const std::string& labelPattern, Subscription fn);
   void unsubscribe(int id);
 
-  /// Installed by the Kalis node; receives every changed local collective
-  /// knowgget for propagation to peers.
-  void setCollectiveSink(std::function<void(const Knowgget&)> sink) {
-    collectiveSink_ = std::move(sink);
-  }
+  /// Registers a sink that receives every changed local collective
+  /// knowgget. Non-owning; several sinks may coexist (e.g. the peer channel
+  /// and the pipeline exchange) and fire in registration order. Re-adding a
+  /// registered sink is a no-op.
+  void addCollectiveSink(CollectiveSink* sink);
+  void removeCollectiveSink(CollectiveSink* sink);
 
   /// Disables all writes (used to emulate the "traditional IDS" baseline,
   /// which runs without a Knowledge Base).
@@ -164,6 +274,10 @@ class KnowledgeBase {
   void rebindOwnerThread() { owner_.rebind(); }
 
  private:
+  /// The storage primitive behind put<T>: value already in canonical
+  /// string form.
+  void putEncoded(const std::string& label, std::string value,
+                  const std::string& entity, bool collective);
   void notify(const Knowgget& k);
   SimTime nowTs() const { return clock_ ? clock_() : 0; }
 
@@ -178,7 +292,7 @@ class KnowledgeBase {
   };
   std::vector<Sub> subs_;
   int nextSubId_ = 1;
-  std::function<void(const Knowgget&)> collectiveSink_;
+  std::vector<CollectiveSink*> collectiveSinks_;
   bool writesEnabled_ = true;
   obs::Counter publishes_;
   obs::Counter subscriptionFires_;

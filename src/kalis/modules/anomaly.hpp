@@ -25,7 +25,7 @@ class AnomalyDetectionModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kUnknownAnomaly; }
 
   bool required(const KnowledgeBase& kb) const override {
-    return kb.localBool("AnomalyDetection").value_or(false);
+    return kb.local<bool>("AnomalyDetection").value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"AnomalyDetection"};

@@ -21,9 +21,9 @@ class DataAlterationModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kDataAlteration; }
 
   bool required(const KnowledgeBase& kb) const override {
-    if (!kb.localBool(labels::kMultihopWpan).value_or(false)) return false;
+    if (!kb.local<bool>(labels::kMultihopWpan).value_or(false)) return false;
     // Crypto rules the attack out entirely.
-    if (kb.localBool(std::string(labels::kLinkEncryption) + ".P802154")
+    if (kb.local<bool>(std::string(labels::kLinkEncryption) + ".P802154")
             .value_or(false)) {
       return false;
     }

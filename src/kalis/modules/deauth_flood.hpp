@@ -17,7 +17,7 @@ class DeauthFloodModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kDeauthFlood; }
 
   bool required(const KnowledgeBase& kb) const override {
-    return kb.localBool("Protocols.WiFi").value_or(false);
+    return kb.local<bool>("Protocols.WiFi").value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"Protocols.WiFi"};

@@ -25,14 +25,14 @@ void EncryptionDetectionModule::onPacket(const net::CapturedPacket& pkt,
     linkSecured = true;
     if (!wpanPublished_) {
       wpanPublished_ = true;
-      ctx.kb.putBool(std::string(labels::kLinkEncryption) + ".P802154", true);
+      ctx.kb.put(std::string(labels::kLinkEncryption) + ".P802154", true);
     }
   }
   if (dis.wifi && dis.wifi->protectedFrame) {
     linkSecured = true;
     if (!wifiPublished_) {
       wifiPublished_ = true;
-      ctx.kb.putBool(std::string(labels::kLinkEncryption) + ".WiFi", true);
+      ctx.kb.put(std::string(labels::kLinkEncryption) + ".WiFi", true);
     }
   }
 
@@ -46,7 +46,7 @@ void EncryptionDetectionModule::onPacket(const net::CapturedPacket& pkt,
     const std::string entity = dis.linkSource();
     if (entity != "?" && !entityEncrypted_[entity]) {
       entityEncrypted_[entity] = true;
-      ctx.kb.putBool("Encrypted", true, entity);
+      ctx.kb.put("Encrypted", true, entity);
     }
   }
   (void)pkt;

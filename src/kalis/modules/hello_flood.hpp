@@ -18,9 +18,9 @@ class HelloFloodModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kHelloFlood; }
 
   bool required(const KnowledgeBase& kb) const override {
-    return kb.localBool("Protocols.CTP").value_or(false) ||
-           kb.localBool("Protocols.RPL").value_or(false) ||
-           kb.localBool("Protocols.ZigBee").value_or(false);
+    return kb.local<bool>("Protocols.CTP").value_or(false) ||
+           kb.local<bool>("Protocols.RPL").value_or(false) ||
+           kb.local<bool>("Protocols.ZigBee").value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"Protocols.CTP", "Protocols.RPL", "Protocols.ZigBee"};

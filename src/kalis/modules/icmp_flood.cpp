@@ -3,7 +3,7 @@
 namespace kalis::ids {
 
 bool IcmpFloodModule::required(const KnowledgeBase& kb) const {
-  return kb.localBool("Protocols.ICMP").value_or(false);
+  return kb.local<bool>("Protocols.ICMP").value_or(false);
 }
 
 void IcmpFloodModule::configure(
@@ -70,7 +70,7 @@ void IcmpFloodModule::onTick(ModuleContext& ctx) {
     const char* label = medium == net::Medium::kIeee802154
                             ? labels::kMultihopWpan
                             : labels::kMultihopWifi;
-    const auto multihop = ctx.kb.localBool(label);
+    const auto multihop = ctx.kb.local<bool>(label);
 
     if (trustKnowledge) {
       if (!multihop.has_value()) continue;  // still learning: don't guess

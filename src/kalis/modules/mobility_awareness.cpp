@@ -52,7 +52,7 @@ void MobilityAwarenessModule::onTick(ModuleContext& ctx) {
     const double current = state.fast.value();
     if (std::fabs(current - state.lastPublished) >= 2.0) {
       state.lastPublished = current;
-      ctx.kb.putInt(labels::kSignalStrength,
+      ctx.kb.put(labels::kSignalStrength,
                     static_cast<long long>(std::lround(current)), entity,
                     /*collective=*/true);
     }
@@ -78,7 +78,7 @@ void MobilityAwarenessModule::onTick(ModuleContext& ctx) {
   if (!published_ || publishedValue_ != mobileNow) {
     published_ = true;
     publishedValue_ = mobileNow;
-    ctx.kb.putBool(labels::kMobility, mobileNow, "", /*collective=*/true);
+    ctx.kb.put(labels::kMobility, mobileNow, "", /*collective=*/true);
   }
 }
 

@@ -34,7 +34,7 @@ class ReplicationStaticModule final : public DetectionModule {
 
   bool required(const KnowledgeBase& kb) const override {
     // Requires the network to be known static.
-    auto mobility = kb.localBool(labels::kMobility);
+    auto mobility = kb.local<bool>(labels::kMobility);
     return mobility.has_value() && !*mobility;
   }
   std::vector<std::string> watchedLabels() const override {
@@ -69,7 +69,7 @@ class ReplicationMobileModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kReplication; }
 
   bool required(const KnowledgeBase& kb) const override {
-    return kb.localBool(labels::kMobility).value_or(false);
+    return kb.local<bool>(labels::kMobility).value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {labels::kMobility};

@@ -30,7 +30,7 @@ class SelectiveForwardingModule final : public DetectionModule {
 
   bool required(const KnowledgeBase& kb) const override {
     // Impossible on single-hop networks (Fig. 3).
-    return kb.localBool(labels::kMultihopWpan).value_or(false);
+    return kb.local<bool>(labels::kMultihopWpan).value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"Multihop*"};
@@ -60,7 +60,7 @@ class BlackholeModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kBlackhole; }
 
   bool required(const KnowledgeBase& kb) const override {
-    return kb.localBool(labels::kMultihopWpan).value_or(false);
+    return kb.local<bool>(labels::kMultihopWpan).value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"Multihop*"};

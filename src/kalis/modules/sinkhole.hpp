@@ -18,9 +18,9 @@ class SinkholeModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kSinkhole; }
 
   bool required(const KnowledgeBase& kb) const override {
-    if (!kb.localBool(labels::kMultihopWpan).value_or(false)) return false;
-    return kb.localBool("Protocols.CTP").value_or(false) ||
-           kb.localBool("Protocols.RPL").value_or(false);
+    if (!kb.local<bool>(labels::kMultihopWpan).value_or(false)) return false;
+    return kb.local<bool>("Protocols.CTP").value_or(false) ||
+           kb.local<bool>("Protocols.RPL").value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"Multihop*", "Protocols.CTP", "Protocols.RPL"};

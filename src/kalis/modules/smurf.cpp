@@ -3,11 +3,11 @@
 namespace kalis::ids {
 
 bool SmurfModule::required(const KnowledgeBase& kb) const {
-  if (!kb.localBool("Protocols.ICMP").value_or(false)) return false;
+  if (!kb.local<bool>("Protocols.ICMP").value_or(false)) return false;
   // Smurf is impossible on single-hop networks: activate only when some
   // monitored medium is known multi-hop.
-  return kb.localBool(labels::kMultihopWpan).value_or(false) ||
-         kb.localBool(labels::kMultihopWifi).value_or(false);
+  return kb.local<bool>(labels::kMultihopWpan).value_or(false) ||
+         kb.local<bool>(labels::kMultihopWifi).value_or(false);
 }
 
 void SmurfModule::configure(const std::map<std::string, std::string>& params) {

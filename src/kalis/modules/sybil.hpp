@@ -28,7 +28,7 @@ class SybilSinglehopModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kSybil; }
 
   bool required(const KnowledgeBase& kb) const override {
-    auto mh = kb.localBool(labels::kMultihopWpan);
+    auto mh = kb.local<bool>(labels::kMultihopWpan);
     return mh.has_value() && !*mh;
   }
   std::vector<std::string> watchedLabels() const override {
@@ -65,7 +65,7 @@ class SybilMultihopModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kSybil; }
 
   bool required(const KnowledgeBase& kb) const override {
-    return kb.localBool(labels::kMultihopWpan).value_or(false);
+    return kb.local<bool>(labels::kMultihopWpan).value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"Multihop*"};

@@ -20,7 +20,7 @@ class SynFloodModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kSynFlood; }
 
   bool required(const KnowledgeBase& kb) const override {
-    return kb.localBool("Protocols.TCP").value_or(false);
+    return kb.local<bool>("Protocols.TCP").value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"Protocols.TCP"};

@@ -26,7 +26,7 @@ void TopologyDiscoveryModule::noteMultihop(net::Medium medium,
   if (state.multihop && state.settled) return;
   state.multihop = true;
   state.settled = true;
-  ctx.kb.putBool(mediumLabel(medium), true);
+  ctx.kb.put(mediumLabel(medium), true);
   publishGlobal(ctx);
 }
 
@@ -36,7 +36,7 @@ void TopologyDiscoveryModule::maybeSettle(net::Medium medium,
   if (state.settled || state.multihop) return;
   if (state.packets < settlePackets_) return;
   state.settled = true;
-  ctx.kb.putBool(mediumLabel(medium), false);
+  ctx.kb.put(mediumLabel(medium), false);
   publishGlobal(ctx);
 }
 
@@ -49,9 +49,9 @@ void TopologyDiscoveryModule::publishGlobal(ModuleContext& ctx) {
     if (!state.settled) anyUnsettled = true;
   }
   if (anyTrue) {
-    ctx.kb.putBool(labels::kMultihop, true);
+    ctx.kb.put(labels::kMultihop, true);
   } else if (!anyUnsettled) {
-    ctx.kb.putBool(labels::kMultihop, false);
+    ctx.kb.put(labels::kMultihop, false);
   }
   // Otherwise: still learning; publish nothing rather than guess.
 }
@@ -64,7 +64,7 @@ void TopologyDiscoveryModule::onPacket(const net::CapturedPacket& pkt,
 
   const std::string sender = dis.linkSource();
   if (entities_.insert(sender).second) {
-    ctx.kb.putInt(labels::kMonitoredNodes,
+    ctx.kb.put(labels::kMonitoredNodes,
                   static_cast<long long>(entities_.size()));
   }
 

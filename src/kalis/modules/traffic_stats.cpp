@@ -79,7 +79,7 @@ void TrafficStatsModule::onPacket(const net::CapturedPacket& pkt,
   if (const char* proto = protocolOf(dis)) {
     if (!protocolsSeen_[proto]) {
       protocolsSeen_[proto] = true;
-      ctx.kb.putBool(std::string(labels::kProtocols) + "." + proto, true);
+      ctx.kb.put(std::string(labels::kProtocols) + "." + proto, true);
     }
   }
 }
@@ -89,7 +89,7 @@ void TrafficStatsModule::onTick(ModuleContext& ctx) {
   for (std::size_t i = 0; i < global_.size(); ++i) {
     const double rate = global_[i]->rate(ctx.now);
     if (rate > 0.0) {
-      ctx.kb.putDouble(std::string(labels::kTrafficFrequency) + "." +
+      ctx.kb.put(std::string(labels::kTrafficFrequency) + "." +
                            net::packetTypeName(static_cast<net::PacketType>(i)),
                        rate);
     }
@@ -97,7 +97,7 @@ void TrafficStatsModule::onTick(ModuleContext& ctx) {
   for (auto& [key, counter] : perDevice_) {
     const double rate = counter.rate(ctx.now);
     if (rate > 0.0) {
-      ctx.kb.putDouble(
+      ctx.kb.put(
           std::string(labels::kTrafficFrequency) + "." +
               net::packetTypeName(static_cast<net::PacketType>(key.first)),
           rate, key.second);

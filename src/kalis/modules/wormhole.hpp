@@ -31,7 +31,7 @@ class WormholeModule final : public DetectionModule {
   AttackType attack() const override { return AttackType::kWormhole; }
 
   bool required(const KnowledgeBase& kb) const override {
-    return kb.localBool(labels::kMultihopWpan).value_or(false);
+    return kb.local<bool>(labels::kMultihopWpan).value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"Multihop*", "Wormhole*"};

@@ -173,28 +173,28 @@ std::vector<AttackType> ruledOutBy(Feature f) {
 
 std::vector<Feature> featuresFrom(const KnowledgeBase& kb) {
   std::vector<Feature> out;
-  if (auto mh = kb.localBool(labels::kMultihop)) {
+  if (auto mh = kb.local<bool>(labels::kMultihop)) {
     out.push_back(*mh ? Feature::kMultiHop : Feature::kSingleHop);
   }
-  if (auto mob = kb.localBool(labels::kMobility)) {
+  if (auto mob = kb.local<bool>(labels::kMobility)) {
     out.push_back(*mob ? Feature::kMobileNetwork : Feature::kStaticNetwork);
   }
-  if (kb.localBool("LinkEncryption.P802154").value_or(false) ||
-      kb.localBool("LinkEncryption.WiFi").value_or(false)) {
+  if (kb.local<bool>("LinkEncryption.P802154").value_or(false) ||
+      kb.local<bool>("LinkEncryption.WiFi").value_or(false)) {
     out.push_back(Feature::kCryptoDeployed);
   }
-  if (kb.localBool("Protocols.TCP").value_or(false)) {
+  if (kb.local<bool>("Protocols.TCP").value_or(false)) {
     out.push_back(Feature::kTcpTraffic);
   }
-  if (kb.localBool("Protocols.ICMP").value_or(false)) {
+  if (kb.local<bool>("Protocols.ICMP").value_or(false)) {
     out.push_back(Feature::kIcmpTraffic);
   }
-  if (kb.localBool("Protocols.CTP").value_or(false) ||
-      kb.localBool("Protocols.RPL").value_or(false) ||
-      kb.localBool("Protocols.ZigBee").value_or(false)) {
+  if (kb.local<bool>("Protocols.CTP").value_or(false) ||
+      kb.local<bool>("Protocols.RPL").value_or(false) ||
+      kb.local<bool>("Protocols.ZigBee").value_or(false)) {
     out.push_back(Feature::kRoutingProtocol);
   }
-  if (kb.localBool("Protocols.WiFi").value_or(false)) {
+  if (kb.local<bool>("Protocols.WiFi").value_or(false)) {
     out.push_back(Feature::kWifiPresent);
   }
   return out;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "kalis/alert.hpp"
+#include "kalis/knowledge.hpp"
 #include "net/packet.hpp"
 #include "util/types.hpp"
 
@@ -36,6 +37,33 @@ class PacketEngine {
   /// End-of-stream, called exactly once after the last onPacket (e.g. to
   /// run out tick-driven detection windows).
   virtual void finish() {}
+
+  // --- collective knowledge (optional; defaults model a knowledge-less
+  // engine so non-Kalis backends and tests need not care) --------------------
+
+  /// Returns (and clears) the collective knowggets this engine changed since
+  /// the previous call. The Pipeline drains this at every batch boundary and
+  /// hands the updates to the KnowledgeExchange (or discards them when the
+  /// exchange is off, keeping the buffer bounded either way).
+  virtual std::vector<ids::Knowgget> takeCollectiveUpdates() { return {}; }
+
+  /// Offers one remote shard's knowgget to this engine's knowledge base.
+  /// Returns whether it was accepted — implementations must enforce the
+  /// one-way update rule (KnowledgeBase::putRemote). Called only from the
+  /// owning worker thread.
+  virtual bool applyRemoteKnowledge(const ids::Knowgget& k) {
+    (void)k;
+    return false;
+  }
+
+  /// Snapshot of the engine's collective knowggets: only those this engine
+  /// created (`ownedOnly`, for the shutdown reconciliation deposit) or its
+  /// full collective view including applied remote entries (for convergence
+  /// checks).
+  virtual std::vector<ids::Knowgget> collectiveKnowledge(bool ownedOnly) const {
+    (void)ownedOnly;
+    return {};
+  }
 };
 
 /// Builds the engine for `shard`; invoked on the owning worker thread (or

@@ -20,6 +20,9 @@ class KalisShardEngine : public PacketEngine {
     node_.setAlertSink([this](const ids::Alert& alert) {
       fresh_.push_back(alert);
     });
+    // Buffer this node's collective changes for the cross-shard exchange.
+    // Registered before start() so a-priori collective knowggets are seen.
+    node_.kb().addCollectiveSink(&collectiveBuffer_);
     node_.start();
   }
 
@@ -37,7 +40,34 @@ class KalisShardEngine : public PacketEngine {
     if (drainUntil_ > sim_.now()) sim_.runUntil(drainUntil_);
   }
 
+  std::vector<ids::Knowgget> takeCollectiveUpdates() override {
+    return std::exchange(collectiveBuffer_.pending, {});
+  }
+
+  bool applyRemoteKnowledge(const ids::Knowgget& k) override {
+    return node_.kb().putRemote(k);
+  }
+
+  std::vector<ids::Knowgget> collectiveKnowledge(bool ownedOnly) const override {
+    std::vector<ids::Knowgget> out;
+    for (ids::Knowgget& k : node_.kb().all()) {
+      if (!k.collective) continue;
+      if (ownedOnly && k.creator != node_.id()) continue;
+      out.push_back(std::move(k));
+    }
+    return out;
+  }
+
  private:
+  /// CollectiveSink buffering changed collective knowggets until the
+  /// Pipeline drains them at the next batch boundary. Same-key re-changes
+  /// are appended, not coalesced: putRemote applies them in order, so the
+  /// receiver converges on the last value.
+  struct BufferSink final : ids::CollectiveSink {
+    void onCollective(const ids::Knowgget& k) override { pending.push_back(k); }
+    std::vector<ids::Knowgget> pending;
+  };
+
   static ids::KalisNode::Options nodeOptions(const KalisEngineOptions& options,
                                              std::size_t shard) {
     ids::KalisNode::Options node = options.node;
@@ -49,6 +79,7 @@ class KalisShardEngine : public PacketEngine {
   ids::KalisNode node_;
   SimTime drainUntil_;
   std::vector<ids::Alert> fresh_;
+  BufferSink collectiveBuffer_;
 };
 
 }  // namespace

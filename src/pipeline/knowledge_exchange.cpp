@@ -1,0 +1,131 @@
+#include "pipeline/knowledge_exchange.hpp"
+
+namespace kalis::pipeline {
+
+KnowledgeExchange::KnowledgeExchange(Options options) {
+  const std::size_t shards = options.shards == 0 ? 1 : options.shards;
+  inboxes_.reserve(shards);
+  watermarks_.reserve(shards);
+  finalKnowledge_.resize(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    inboxes_.push_back(std::make_unique<InboxRing>(options.inboxCapacity));
+    watermarks_.push_back(std::make_unique<std::atomic<SimTime>>(0));
+  }
+}
+
+void KnowledgeExchange::publish(std::size_t fromShard, const ids::Knowgget& k,
+                                SimTime at) {
+  published_.fetch_add(1, std::memory_order_relaxed);
+  if (inboxes_.size() < 2) return;  // single shard: nothing to exchange
+  RemoteKnowgget item;
+  item.knowgget = k;
+  item.fromShard = fromShard;
+  item.publishedAt = at;
+  for (std::size_t shard = 0; shard < inboxes_.size(); ++shard) {
+    if (shard == fromShard) continue;
+    // Drop-oldest keeps publish non-blocking: a stalled consumer costs an
+    // eviction (repaired by shutdown reconciliation), never a deadlock.
+    const auto result = inboxes_[shard]->push(item, Backpressure::kDropOldest);
+    if (result == InboxRing::PushResult::kDroppedOldest) {
+      droppedInFlight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (result != InboxRing::PushResult::kClosed) {
+      deliveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t KnowledgeExchange::drain(
+    std::size_t shard, const std::function<bool(const RemoteKnowgget&)>& apply) {
+  InboxRing& inbox = *inboxes_[shard];
+  std::vector<InboxRing::Item> batch;
+  std::size_t drained = 0;
+  SimTime watermark = watermarks_[shard]->load(std::memory_order_relaxed);
+  while (inbox.tryPopBatch(batch, 64) > 0) {
+    for (InboxRing::Item& item : batch) {
+      countApply(apply(item.value));
+      if (item.value.publishedAt > watermark) watermark = item.value.publishedAt;
+    }
+    drained += batch.size();
+    batch.clear();
+  }
+  if (drained > 0) {
+    watermarks_[shard]->store(watermark, std::memory_order_release);
+  }
+  return drained;
+}
+
+void KnowledgeExchange::countApply(bool accepted) {
+  if (accepted) {
+    applied_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void KnowledgeExchange::finishShard(std::size_t shard,
+                                    std::vector<ids::Knowgget> finalOwn) {
+  {
+    std::lock_guard<std::mutex> lock(finishMu_);
+    finalKnowledge_[shard] = std::move(finalOwn);
+    ++finishedCount_;
+  }
+  finishedCv_.notify_all();
+}
+
+bool KnowledgeExchange::allFinished() const {
+  std::lock_guard<std::mutex> lock(finishMu_);
+  return finishedCount_ >= inboxes_.size();
+}
+
+bool KnowledgeExchange::waitAllFinished(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(finishMu_);
+  return finishedCv_.wait_for(
+      lock, timeout, [this] { return finishedCount_ >= inboxes_.size(); });
+}
+
+std::size_t KnowledgeExchange::applyFinalFrom(
+    std::size_t shard, const std::function<bool(const ids::Knowgget&)>& apply) {
+  // Snapshot under the lock, apply outside it: `apply` reaches into the
+  // shard's KB and must not run while holding exchange-internal locks.
+  std::vector<std::vector<ids::Knowgget>> finals;
+  {
+    std::lock_guard<std::mutex> lock(finishMu_);
+    finals = finalKnowledge_;
+  }
+  std::size_t offered = 0;
+  for (std::size_t from = 0; from < finals.size(); ++from) {
+    if (from == shard) continue;
+    for (const ids::Knowgget& k : finals[from]) {
+      countApply(apply(k));
+      ++offered;
+    }
+  }
+  return offered;
+}
+
+KnowledgeExchange::Stats KnowledgeExchange::stats() const {
+  Stats s;
+  s.published = published_.load(std::memory_order_relaxed);
+  s.deliveries = deliveries_.load(std::memory_order_relaxed);
+  s.applied = applied_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.droppedInFlight = droppedInFlight_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void KnowledgeExchange::collectMetrics(obs::Registry& reg,
+                                       const std::string& prefix) const {
+  const Stats s = stats();
+  reg.counter(prefix + ".published", s.published);
+  reg.counter(prefix + ".deliveries", s.deliveries);
+  reg.counter(prefix + ".applied", s.applied);
+  reg.counter(prefix + ".rejected", s.rejected);
+  reg.counter(prefix + ".dropped_in_flight", s.droppedInFlight);
+  for (std::size_t i = 0; i < inboxes_.size(); ++i) {
+    inboxes_[i]->collectMetrics(reg,
+                                prefix + ".inbox." + std::to_string(i));
+  }
+}
+
+}  // namespace kalis::pipeline

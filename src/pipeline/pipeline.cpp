@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/log.hpp"
 
@@ -24,6 +25,12 @@ Pipeline::Pipeline(Options options, EngineFactory factory)
   merge_.watermark.assign(shards_.size(), 0);
   merge_.done.assign(shards_.size(), 0);
   merge_.nextSeq.assign(shards_.size(), 0);
+  if (options_.knowledgeExchange) {
+    KnowledgeExchange::Options xo;
+    xo.shards = shards_.size();
+    xo.inboxCapacity = options_.exchangeCapacity;
+    exchange_ = std::make_unique<KnowledgeExchange>(xo);
+  }
 }
 
 Pipeline::~Pipeline() { stop(); }
@@ -62,7 +69,8 @@ bool Pipeline::enqueue(const net::CapturedPacket& pkt) {
     }
     detBatch_.clear();
     shard.ring.popBatch(detBatch_, 1);
-    shard.engine->onPacket(detBatch_[0].pkt);
+    shard.engine->onPacket(detBatch_[0].value);
+    syncShardKnowledge(idx, /*force=*/false);
     collectFrom(idx, /*shardDone=*/false);
     return true;
   }
@@ -76,8 +84,19 @@ void Pipeline::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
   if (options_.deterministic) {
-    shards_[0]->ring.close();
-    shards_[0]->engine->finish();
+    Shard& shard = *shards_[0];
+    shard.ring.close();
+    shard.engine->finish();
+    if (exchange_) {
+      // Single shard: publishes have no receivers, but the counters and the
+      // reconciliation protocol stay uniform with threaded mode.
+      syncShardKnowledge(0, /*force=*/true);
+      exchange_->finishShard(0, shard.engine->collectiveKnowledge(true));
+      exchange_->applyFinalFrom(0, [&shard](const ids::Knowgget& k) {
+        return shard.engine->applyRemoteKnowledge(k);
+      });
+    }
+    shard.finalKnowledge = shard.engine->collectiveKnowledge(false);
     collectFrom(0, /*shardDone=*/true);
     return;
   }
@@ -99,15 +118,54 @@ void Pipeline::workerMain(std::size_t shardIdx) {
     const std::size_t n = shard.ring.popBatch(batch, options_.maxBatch);
     if (n == 0) break;  // closed and drained
     for (const PacketRing::Item& item : batch) {
-      shard.engine->onPacket(item.pkt);
+      shard.engine->onPacket(item.value);
     }
+    syncShardKnowledge(shardIdx, /*force=*/false);
     collectFrom(shardIdx, /*shardDone=*/false);
   }
   shard.engine->finish();
+  if (exchange_) {
+    // Shutdown reconciliation (knowledge_exchange.hpp): flush our pending
+    // changes, deposit our final own collective set, then keep draining
+    // while the other shards reach the same point — a blocked wait here
+    // would strand their publishes. Once everyone finished, one last drain
+    // picks up all remaining in-flight items (each publish happened-before
+    // its shard's finishShard), and applying the final snapshots repairs
+    // anything the drop-oldest inboxes evicted.
+    syncShardKnowledge(shardIdx, /*force=*/true);
+    exchange_->finishShard(shardIdx, shard.engine->collectiveKnowledge(true));
+    while (!exchange_->waitAllFinished(std::chrono::milliseconds(1))) {
+      syncShardKnowledge(shardIdx, /*force=*/true);
+    }
+    syncShardKnowledge(shardIdx, /*force=*/true);
+    exchange_->applyFinalFrom(shardIdx, [&shard](const ids::Knowgget& k) {
+      return shard.engine->applyRemoteKnowledge(k);
+    });
+  }
+  shard.finalKnowledge = shard.engine->collectiveKnowledge(false);
   collectFrom(shardIdx, /*shardDone=*/true);
   // Tear the engine down here too: shard state must be built, used and
   // destroyed by its one owning thread (KB/DataStore assert this).
   shard.engine.reset();
+}
+
+void Pipeline::syncShardKnowledge(std::size_t shardIdx, bool force) {
+  Shard& shard = *shards_[shardIdx];
+  // Always drain the engine's update buffer — even with the exchange off —
+  // so it cannot grow without bound over a long run.
+  std::vector<ids::Knowgget> updates = shard.engine->takeCollectiveUpdates();
+  if (!exchange_) return;
+  const SimTime now = shard.engine->watermark();
+  for (const ids::Knowgget& k : updates) {
+    exchange_->publish(shardIdx, k, now);
+  }
+  if (!force && now - shard.lastKnowledgeSync < options_.knowledgeSyncInterval) {
+    return;
+  }
+  shard.lastKnowledgeSync = now;
+  exchange_->drain(shardIdx, [&shard](const RemoteKnowgget& rk) {
+    return shard.engine->applyRemoteKnowledge(rk.knowgget);
+  });
 }
 
 void Pipeline::collectFrom(std::size_t shardIdx, bool shardDone) {
@@ -150,49 +208,42 @@ void Pipeline::MergeStage::flushLocked() {
   }
 }
 
-std::uint64_t Pipeline::enqueued() const {
-  std::uint64_t n = 0;
-  for (const auto& shard : shards_) n += shard->ring.stats().pushed;
-  return n;
-}
-
-std::uint64_t Pipeline::processed() const {
-  std::uint64_t n = 0;
-  for (const auto& shard : shards_) n += shard->ring.stats().popped;
-  return n;
-}
-
-std::uint64_t Pipeline::droppedNewest() const {
-  std::uint64_t n = 0;
-  for (const auto& shard : shards_) n += shard->ring.stats().droppedNewest;
-  return n;
-}
-
-std::uint64_t Pipeline::droppedOldest() const {
-  std::uint64_t n = 0;
-  for (const auto& shard : shards_) n += shard->ring.stats().droppedOldest;
-  return n;
-}
-
-std::uint64_t Pipeline::blockedPushes() const {
-  std::uint64_t n = 0;
-  for (const auto& shard : shards_) n += shard->ring.stats().blockedPushes;
-  return n;
+Pipeline::Stats Pipeline::stats() const {
+  Stats s;
+  for (const auto& shard : shards_) {
+    const PacketRing::Stats rs = shard->ring.stats();
+    s.enqueued += rs.pushed;
+    s.processed += rs.popped;
+    s.droppedNewest += rs.droppedNewest;
+    s.droppedOldest += rs.droppedOldest;
+    s.blockedPushes += rs.blockedPushes;
+  }
+  s.alertsEmitted = merge_.emitted.size();
+  if (exchange_) {
+    const KnowledgeExchange::Stats xs = exchange_->stats();
+    s.knowledgePublished = xs.published;
+    s.knowledgeApplied = xs.applied;
+    s.knowledgeRejected = xs.rejected;
+    s.knowledgeDroppedInFlight = xs.droppedInFlight;
+  }
+  return s;
 }
 
 void Pipeline::collectMetrics(obs::Registry& reg,
                               const std::string& prefix) const {
+  const Stats s = stats();
   reg.counter(prefix + ".shards", shards_.size());
-  reg.counter(prefix + ".enqueued", enqueued());
-  reg.counter(prefix + ".processed", processed());
-  reg.counter(prefix + ".dropped_newest", droppedNewest());
-  reg.counter(prefix + ".dropped_oldest", droppedOldest());
-  reg.counter(prefix + ".blocked_pushes", blockedPushes());
-  reg.counter(prefix + ".alerts_emitted", merge_.emitted.size());
+  reg.counter(prefix + ".enqueued", s.enqueued);
+  reg.counter(prefix + ".processed", s.processed);
+  reg.counter(prefix + ".dropped_newest", s.droppedNewest);
+  reg.counter(prefix + ".dropped_oldest", s.droppedOldest);
+  reg.counter(prefix + ".blocked_pushes", s.blockedPushes);
+  reg.counter(prefix + ".alerts_emitted", s.alertsEmitted);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->ring.collectMetrics(
         reg, prefix + ".shard." + std::to_string(i) + ".ring");
   }
+  if (exchange_) exchange_->collectMetrics(reg, prefix + ".exchange");
 }
 
 }  // namespace kalis::pipeline

@@ -26,6 +26,11 @@
 //                          and the discrete-event simulator.
 //   deterministic = false  `workers` threads, each owning one shard.
 //
+// With Options::knowledgeExchange on, shard engines additionally swap
+// collective knowggets through a KnowledgeExchange at batch boundaries
+// (knowledge_exchange.hpp, DESIGN.md §8), so shards share the paper's
+// collective knowledge without any cross-thread access to a KnowledgeBase.
+//
 // Lifecycle: construct → (setAlertSink) → start() → enqueue()* → stop().
 // stop() closes the rings, drains every queued packet (drain-on-shutdown),
 // joins the workers and flushes the merge stage. A Pipeline is one-shot.
@@ -39,9 +44,11 @@
 #include <vector>
 
 #include "pipeline/engine.hpp"
+#include "pipeline/knowledge_exchange.hpp"
 #include "pipeline/ring_buffer.hpp"
 #include "pipeline/shard_key.hpp"
 #include "util/metrics.hpp"
+#include "util/types.hpp"
 
 namespace kalis::pipeline {
 
@@ -56,6 +63,18 @@ struct Options {
   /// emits alerts immediately, bit-identical to feeding the engine
   /// directly.
   bool deterministic = false;
+  /// Cross-shard collective knowledge exchange (DESIGN.md §8). Off by
+  /// default: shards then keep fully independent knowledge bases, exactly
+  /// the pre-exchange behavior.
+  bool knowledgeExchange = false;
+  /// Minimum virtual-time spacing between exchange drains on a shard — the
+  /// multi-worker analogue of KalisNode::Options::peerSyncLatency. Remote
+  /// knowggets are applied at the first batch boundary after the shard's
+  /// clock advances past this interval, bounding staleness to roughly
+  /// (interval + one batch span). Publishes are never delayed.
+  Duration knowledgeSyncInterval = milliseconds(10);
+  /// Ring slots per shard exchange inbox (in-flight remote knowggets).
+  std::size_t exchangeCapacity = 1024;
 };
 
 class Pipeline {
@@ -94,13 +113,59 @@ class Pipeline {
   std::size_t shardCount() const { return shards_.size(); }
   const Options& options() const { return options_; }
 
-  // --- loss accounting (exact, valid while producers are quiescent) ----------
-  std::uint64_t enqueued() const;       ///< packets accepted into rings
-  std::uint64_t processed() const;      ///< packets handed to engines
-  std::uint64_t droppedNewest() const;  ///< rejected incoming packets
-  std::uint64_t droppedOldest() const;  ///< evicted queued packets
-  std::uint64_t dropped() const { return droppedNewest() + droppedOldest(); }
-  std::uint64_t blockedPushes() const;  ///< pushes that waited for room
+  /// One coherent counter snapshot (exact while producers are quiescent) —
+  /// replaces the per-counter getters below.
+  struct Stats {
+    std::uint64_t enqueued = 0;       ///< packets accepted into rings
+    std::uint64_t processed = 0;      ///< packets handed to engines
+    std::uint64_t droppedNewest = 0;  ///< rejected incoming packets
+    std::uint64_t droppedOldest = 0;  ///< evicted queued packets
+    std::uint64_t blockedPushes = 0;  ///< pushes that waited for room
+    std::uint64_t alertsEmitted = 0;  ///< alerts released by the merge stage
+    // Knowledge exchange (all zero when Options::knowledgeExchange is off).
+    std::uint64_t knowledgePublished = 0;  ///< collective changes handed over
+    std::uint64_t knowledgeApplied = 0;    ///< remote knowggets accepted
+    std::uint64_t knowledgeRejected = 0;   ///< refused by the one-way rule
+    std::uint64_t knowledgeDroppedInFlight = 0;  ///< inbox evictions
+    std::uint64_t dropped() const { return droppedNewest + droppedOldest; }
+  };
+  Stats stats() const;
+
+  /// Collective knowggets visible to `shard`'s engine when it finished
+  /// (its own plus applied remote entries). Populated by stop(); empty for
+  /// engines without knowledge.
+  const std::vector<ids::Knowgget>& collectiveKnowledge(std::size_t shard) const {
+    return shards_[shard]->finalKnowledge;
+  }
+
+  /// Bounded-staleness watermark: highest publisher clock applied into
+  /// `shard` so far. 0 when the exchange is off.
+  SimTime knowledgeWatermark(std::size_t shard) const {
+    return exchange_ ? exchange_->appliedWatermark(shard) : 0;
+  }
+
+  // --- legacy per-counter getters (prefer stats()) ----------------------------
+  [[deprecated("use stats().enqueued")]] std::uint64_t enqueued() const {
+    return stats().enqueued;
+  }
+  [[deprecated("use stats().processed")]] std::uint64_t processed() const {
+    return stats().processed;
+  }
+  [[deprecated("use stats().droppedNewest")]] std::uint64_t droppedNewest()
+      const {
+    return stats().droppedNewest;
+  }
+  [[deprecated("use stats().droppedOldest")]] std::uint64_t droppedOldest()
+      const {
+    return stats().droppedOldest;
+  }
+  [[deprecated("use stats().dropped()")]] std::uint64_t dropped() const {
+    return stats().dropped();
+  }
+  [[deprecated("use stats().blockedPushes")]] std::uint64_t blockedPushes()
+      const {
+    return stats().blockedPushes;
+  }
 
   /// Appends pipeline + per-shard ring metrics under `prefix`
   /// (e.g. "pipeline"). Call while quiescent (before start or after stop).
@@ -112,6 +177,10 @@ class Pipeline {
     PacketRing ring;
     std::unique_ptr<PacketEngine> engine;
     std::thread worker;
+    /// Engine clock at the last exchange drain (sync-interval gate).
+    SimTime lastKnowledgeSync = 0;
+    /// Engine's final collective view, captured just before teardown.
+    std::vector<ids::Knowgget> finalKnowledge;
   };
 
   /// Timestamp-ordered, watermark-gated alert merge.
@@ -142,10 +211,16 @@ class Pipeline {
 
   void workerMain(std::size_t shard);
   void collectFrom(std::size_t shard, bool shardDone);
+  /// Publishes the shard engine's pending collective changes into the
+  /// exchange and — when forced or the sync interval elapsed — applies
+  /// queued remote knowggets. Called at batch boundaries on the owning
+  /// worker (or the caller thread in deterministic mode).
+  void syncShardKnowledge(std::size_t shard, bool force);
 
   Options options_;
   EngineFactory factory_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<KnowledgeExchange> exchange_;  ///< null when exchange off
   MergeStage merge_;
   bool started_ = false;
   bool stopped_ = false;

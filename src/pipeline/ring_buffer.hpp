@@ -1,16 +1,22 @@
-// Bounded MPSC packet ring — the ingress stage of kalis::pipeline.
+// Bounded multi-producer ring — the queueing primitive of kalis::pipeline.
 //
-// Multiple producers (sniffer callbacks, trace replay loops) push captured
-// packets; exactly one worker drains them in batches. The ring is a fixed
-// array of `capacity` slots guarded by one mutex and two condition
-// variables; batch dequeue amortizes the lock to well under the cost of
-// dissecting a single packet.
+// BoundedRing<T> is a fixed array of `capacity` slots guarded by one mutex
+// and two condition variables; batch dequeue amortizes the lock to well
+// under the cost of handling a single item. Two instantiations exist:
+//
+//   PacketRing  = BoundedRing<net::CapturedPacket>   ingress stage: many
+//                 producers (sniffer callbacks, trace replay loops) push
+//                 captured packets, exactly one worker drains in batches.
+//   BoundedRing<RemoteKnowgget>                      per-shard inbox of the
+//                 cross-shard KnowledgeExchange (knowledge_exchange.hpp):
+//                 every other worker publishes, the owning worker drains at
+//                 batch boundaries via tryPopBatch.
 //
 // When the ring is full the configured backpressure policy decides:
 //
-//   kBlock       producer waits until the worker frees a slot (lossless)
-//   kDropNewest  the incoming packet is rejected
-//   kDropOldest  the oldest queued packet is evicted to make room
+//   kBlock       producer waits until the consumer frees a slot (lossless)
+//   kDropNewest  the incoming item is rejected
+//   kDropOldest  the oldest queued item is evicted to make room
 //
 // Every outcome is counted (always-on uint64 tallies for loss accounting,
 // kalis::obs histograms/gauges for depth, enqueue latency, queue wait and
@@ -28,49 +34,50 @@
 
 namespace kalis::pipeline {
 
-/// Policy applied by PacketRing::push when the ring is full.
+/// Policy applied by BoundedRing::push when the ring is full.
 enum class Backpressure : std::uint8_t { kBlock, kDropNewest, kDropOldest };
 
 const char* backpressureName(Backpressure p);
 
-class PacketRing {
+template <typename T>
+class BoundedRing {
  public:
   enum class PushResult : std::uint8_t {
     kOk,             ///< accepted, ring had room
     kOkBlocked,      ///< accepted after waiting for room (kBlock)
-    kDroppedNewest,  ///< rejected: the incoming packet was dropped
-    kDroppedOldest,  ///< accepted, but the oldest queued packet was evicted
+    kDroppedNewest,  ///< rejected: the incoming item was dropped
+    kDroppedOldest,  ///< accepted, but the oldest queued item was evicted
     kClosed,         ///< rejected: the ring is closed
   };
 
-  /// A queued packet plus its (sampled) enqueue timestamp for queue-wait
-  /// latency; 0 when the packet was not sampled.
+  /// A queued item plus its (sampled) enqueue timestamp for queue-wait
+  /// latency; 0 when the item was not sampled.
   struct Item {
-    net::CapturedPacket pkt;
+    T value{};
     std::uint64_t enqueuedNs = 0;
   };
 
   /// Exact event tallies since construction (guarded by the ring mutex).
   struct Stats {
-    std::uint64_t pushed = 0;         ///< packets accepted
-    std::uint64_t droppedNewest = 0;  ///< incoming packets rejected
-    std::uint64_t droppedOldest = 0;  ///< queued packets evicted
+    std::uint64_t pushed = 0;         ///< items accepted
+    std::uint64_t droppedNewest = 0;  ///< incoming items rejected
+    std::uint64_t droppedOldest = 0;  ///< queued items evicted
     std::uint64_t blockedPushes = 0;  ///< pushes that had to wait
     std::uint64_t closedPushes = 0;   ///< pushes rejected by close()
-    std::uint64_t popped = 0;         ///< packets handed to the consumer
+    std::uint64_t popped = 0;         ///< items handed to the consumer
     std::uint64_t batches = 0;        ///< popBatch calls that returned items
   };
 
-  explicit PacketRing(std::size_t capacity)
+  explicit BoundedRing(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
 
-  PacketRing(const PacketRing&) = delete;
-  PacketRing& operator=(const PacketRing&) = delete;
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
 
-  /// Enqueues one packet under `policy`. Thread-safe for any number of
+  /// Enqueues one item under `policy`. Thread-safe for any number of
   /// producers. With kBlock this waits until a slot frees up or the ring
   /// is closed.
-  PushResult push(const net::CapturedPacket& pkt, Backpressure policy) {
+  PushResult push(const T& value, Backpressure policy) {
     // One clock read on entry (metrics builds only); the exit read happens
     // on 1-in-kSampleEvery pushes, keeping steady_clock off the hot path.
     const std::uint64_t t0 = obs::kEnabled ? obs::nowNs() : 0;
@@ -105,7 +112,7 @@ class PacketRing {
       }
     }
     Item& slot = slots_[(head_ + count_) % capacity_];
-    slot.pkt = pkt;
+    slot.value = value;
     const bool sampled = obs::kEnabled && (stats_.pushed % kSampleEvery) == 0;
     slot.enqueuedNs = sampled ? t0 : 0;
     ++count_;
@@ -124,26 +131,19 @@ class PacketRing {
   std::size_t popBatch(std::vector<Item>& out, std::size_t maxBatch) {
     std::unique_lock<std::mutex> lock(mu_);
     notEmpty_.wait(lock, [this] { return closed_ || count_ > 0; });
-    const std::size_t n = std::min(maxBatch == 0 ? 1 : maxBatch, count_);
-    for (std::size_t i = 0; i < n; ++i) {
-      Item& slot = slots_[head_];
-      if (slot.enqueuedNs != 0) queueWaitNs_.record(obs::nowNs() - slot.enqueuedNs);
-      out.push_back(std::move(slot));
-      head_ = (head_ + 1) % capacity_;
-    }
-    count_ -= n;
-    if (n > 0) {
-      stats_.popped += n;
-      ++stats_.batches;
-      batchSize_.record(n);
-      depth_.set(static_cast<double>(count_));
-      lock.unlock();
-      notFull_.notify_all();  // several producers may be waiting
-    }
-    return n;
+    return popLocked(lock, out, maxBatch);
   }
 
-  /// Rejects all future pushes and wakes every waiter; queued packets stay
+  /// Non-blocking popBatch: returns immediately with 0 when the ring is
+  /// empty (open or closed). Used by consumers that poll at batch
+  /// boundaries, e.g. the knowledge-exchange drain.
+  std::size_t tryPopBatch(std::vector<Item>& out, std::size_t maxBatch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (count_ == 0) return 0;
+    return popLocked(lock, out, maxBatch);
+  }
+
+  /// Rejects all future pushes and wakes every waiter; queued items stay
   /// drainable via popBatch (drain-on-shutdown).
   void close() {
     {
@@ -192,6 +192,29 @@ class PacketRing {
   static constexpr std::uint64_t kSampleEvery = 16;
 
  private:
+  /// Pop body shared by the blocking and non-blocking variants; requires
+  /// count_ > 0 or closed_, with `lock` held on mu_.
+  std::size_t popLocked(std::unique_lock<std::mutex>& lock,
+                        std::vector<Item>& out, std::size_t maxBatch) {
+    const std::size_t n = std::min(maxBatch == 0 ? 1 : maxBatch, count_);
+    for (std::size_t i = 0; i < n; ++i) {
+      Item& slot = slots_[head_];
+      if (slot.enqueuedNs != 0) queueWaitNs_.record(obs::nowNs() - slot.enqueuedNs);
+      out.push_back(std::move(slot));
+      head_ = (head_ + 1) % capacity_;
+    }
+    count_ -= n;
+    if (n > 0) {
+      stats_.popped += n;
+      ++stats_.batches;
+      batchSize_.record(n);
+      depth_.set(static_cast<double>(count_));
+      lock.unlock();
+      notFull_.notify_all();  // several producers may be waiting
+    }
+    return n;
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable notFull_;
@@ -206,6 +229,9 @@ class PacketRing {
   obs::Histogram queueWaitNs_;
   obs::Histogram batchSize_;
 };
+
+/// The ingress packet queue of each pipeline shard (MPSC).
+using PacketRing = BoundedRing<net::CapturedPacket>;
 
 inline const char* backpressureName(Backpressure p) {
   switch (p) {

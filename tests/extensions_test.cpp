@@ -139,9 +139,9 @@ TEST(SiemExport, StreamsKnowledgeChanges) {
   std::vector<std::string> lines;
   SiemExporter exporter([&](const std::string& line) { lines.push_back(line); });
   exporter.watchKnowledge(kb);
-  kb.putBool("Multihop", true);
-  kb.putBool("Multihop", true);  // unchanged: no event
-  kb.putInt("MonitoredNodes", 5);
+  kb.put("Multihop", true);
+  kb.put("Multihop", true);  // unchanged: no event
+  kb.put("MonitoredNodes", 5);
   EXPECT_EQ(lines.size(), 2u);
   EXPECT_EQ(exporter.knowggetsExported(), 2u);
 }
@@ -157,7 +157,7 @@ TEST(SiemExport, ComposesWithAlertSink) {
       [exporter](const Alert& alert) { exporter->exportAlert(alert); });
   node.start();
   // Trigger: feed enough flood traffic for an alert (single-hop known).
-  node.kb().putBool(labels::kMultihopWifi, false);
+  node.kb().put(labels::kMultihopWifi, false);
   net::IcmpMessage reply;
   reply.type = net::IcmpType::kEchoReply;
   for (int i = 0; i < 80; ++i) {
@@ -185,13 +185,13 @@ TEST(SiemExport, ComposesWithAlertSink) {
 
 TEST(Profile, SinglehopStaticHomeExcludesMultihopTechniques) {
   KnowledgeBase kb("K1");
-  kb.putBool(labels::kMultihop, false);
-  kb.putBool(labels::kMultihopWifi, false);
-  kb.putBool(labels::kMultihopWpan, false);
-  kb.putBool(labels::kMobility, false);
-  kb.putBool("Protocols.ICMP", true);
-  kb.putBool("Protocols.TCP", true);
-  kb.putBool("Protocols.WiFi", true);
+  kb.put(labels::kMultihop, false);
+  kb.put(labels::kMultihopWifi, false);
+  kb.put(labels::kMultihopWpan, false);
+  kb.put(labels::kMobility, false);
+  kb.put("Protocols.ICMP", true);
+  kb.put("Protocols.TCP", true);
+  kb.put("Protocols.WiFi", true);
 
   const auto profile = generateProfile(kb, ModuleRegistry::global());
   const auto has = [&](const char* name) {
@@ -209,9 +209,9 @@ TEST(Profile, SinglehopStaticHomeExcludesMultihopTechniques) {
 
 TEST(Profile, GeneratedConfigRoundTripsAndFreezesKnowledge) {
   KnowledgeBase kb("K1");
-  kb.putBool(labels::kMultihopWpan, true);
-  kb.putBool(labels::kMobility, false);
-  kb.putBool("Protocols.CTP", true);
+  kb.put(labels::kMultihopWpan, true);
+  kb.put(labels::kMobility, false);
+  kb.put("Protocols.CTP", true);
   kb.put(labels::kCtpRoot, "0x0001");
 
   const auto profile = generateProfile(kb, ModuleRegistry::global());
@@ -233,7 +233,7 @@ TEST(Profile, GeneratedConfigRoundTripsAndFreezesKnowledge) {
 
 TEST(Profile, BuildManifestListsModules) {
   KnowledgeBase kb("K1");
-  kb.putBool("Protocols.TCP", true);
+  kb.put("Protocols.TCP", true);
   const auto profile = generateProfile(kb, ModuleRegistry::global());
   const std::string manifest = formatBuildManifest(profile);
   EXPECT_NE(manifest.find("module SynFloodModule"), std::string::npos);
@@ -249,7 +249,7 @@ struct AnomalyHarness {
   AnomalyDetectionModule module;
 
   void tickWithRate(const char* type, double rate, SimTime now) {
-    kb.putDouble(std::string(labels::kTrafficFrequency) + "." + type, rate);
+    kb.put(std::string(labels::kTrafficFrequency) + "." + type, rate);
     ModuleContext ctx{kb, store, now,
                       [this](Alert a) { alerts.push_back(std::move(a)); }};
     module.onTick(ctx);
@@ -260,7 +260,7 @@ TEST(Anomaly, OptInActivation) {
   KnowledgeBase kb("K1");
   AnomalyDetectionModule module;
   EXPECT_FALSE(module.required(kb));
-  kb.putBool("AnomalyDetection", true);
+  kb.put("AnomalyDetection", true);
   EXPECT_TRUE(module.required(kb));
 }
 

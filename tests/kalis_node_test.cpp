@@ -42,8 +42,8 @@ knowggets = {
   EXPECT_TRUE(node.applyConfig(parsed.config));
   EXPECT_NE(node.modules().find("TopologyDiscoveryModule"), nullptr);
   EXPECT_NE(node.modules().find("TrafficStatsModule"), nullptr);
-  EXPECT_EQ(node.kb().localBool("Mobility"), false);
-  EXPECT_EQ(node.kb().localInt("SignalStrength", "SensorA"), -67);
+  EXPECT_EQ(node.kb().local<bool>("Mobility"), false);
+  EXPECT_EQ(node.kb().local<long long>("SignalStrength", "SensorA"), -67);
 }
 
 TEST_F(NodeFixture, ApplyConfigReportsUnknownModules) {
@@ -73,7 +73,7 @@ TEST_F(NodeFixture, TraditionalEmulationActivatesEverythingAndFreezesKb) {
   node.emulateTraditionalIds();
   node.start();
   EXPECT_EQ(node.modules().activeCount(), node.modules().moduleCount());
-  node.kb().putBool("Multihop", true);
+  node.kb().put("Multihop", true);
   EXPECT_EQ(node.kb().size(), 0u);  // frozen
 }
 
@@ -97,14 +97,14 @@ TEST_F(NodeFixture, CollectiveKnowggetsSyncToPeers) {
   KalisNode::discoverPeers(k1, k2);
   EXPECT_EQ(k1.peerCount(), 1u);
 
-  k1.kb().putBool("Mobility", true, "", /*collective=*/true);
+  k1.kb().put("Mobility", true, "", /*collective=*/true);
   simulator.runUntil(seconds(1));
   // K2 now holds K1's knowgget, under K1's creator id.
   EXPECT_EQ(k2.kb().raw("K1$Mobility"), "true");
   EXPECT_EQ(k1.collectiveSent(), 1u);
   EXPECT_EQ(k2.collectiveReceived(), 1u);
   // Non-collective knowledge stays local.
-  k1.kb().putBool("Multihop", true);
+  k1.kb().put("Multihop", true);
   simulator.runUntil(seconds(2));
   EXPECT_EQ(k2.kb().raw("K1$Multihop"), std::nullopt);
 }
@@ -115,11 +115,11 @@ TEST_F(NodeFixture, PeerSyncIsBidirectionalButAuthenticated) {
   o2.id = "K2";
   KalisNode k2(simulator, o2);
   KalisNode::discoverPeers(k1, k2);
-  k2.kb().putBool("Mobility", false, "", true);
+  k2.kb().put("Mobility", false, "", true);
   simulator.runUntil(seconds(1));
   EXPECT_EQ(k1.kb().raw("K2$Mobility"), "false");
   // K2's update of its own knowgget propagates...
-  k2.kb().putBool("Mobility", true, "", true);
+  k2.kb().put("Mobility", true, "", true);
   simulator.runUntil(seconds(2));
   EXPECT_EQ(k1.kb().raw("K2$Mobility"), "true");
 }
@@ -172,7 +172,7 @@ TEST_F(NodeFixture, WormholeCorrelationAcrossTwoNodes) {
               /*collective=*/true);
 
   // K2's view: wormhole module with local unexplained evidence.
-  k2.kb().putBool(labels::kMultihopWpan, true);
+  k2.kb().put(labels::kMultihopWpan, true);
   k2.kb().put(labels::kWormholeUnexplained, "def456,abc123,facade", "0x0004",
               /*collective=*/true);
 

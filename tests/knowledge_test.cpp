@@ -32,15 +32,15 @@ TEST(KnowggetKey, DecodeRoundTrip) {
 
 TEST(KnowledgeBase, PutAndTypedReads) {
   KnowledgeBase kb("K1");
-  kb.putBool("Multihop", true);
-  kb.putInt("MonitoredNodes", 8);
-  kb.putDouble("TrafficFrequency.TCPSYN", 0.037);
-  kb.putInt("SignalStrength", -67, "SensorA");
+  kb.put("Multihop", true);
+  kb.put("MonitoredNodes", 8);
+  kb.put("TrafficFrequency.TCPSYN", 0.037);
+  kb.put("SignalStrength", -67, "SensorA");
 
-  EXPECT_EQ(kb.localBool("Multihop"), true);
-  EXPECT_EQ(kb.localInt("MonitoredNodes"), 8);
-  EXPECT_DOUBLE_EQ(*kb.localDouble("TrafficFrequency.TCPSYN"), 0.037);
-  EXPECT_EQ(kb.localInt("SignalStrength", "SensorA"), -67);
+  EXPECT_EQ(kb.local<bool>("Multihop"), true);
+  EXPECT_EQ(kb.local<long long>("MonitoredNodes"), 8);
+  EXPECT_DOUBLE_EQ(*kb.local<double>("TrafficFrequency.TCPSYN"), 0.037);
+  EXPECT_EQ(kb.local<long long>("SignalStrength", "SensorA"), -67);
   EXPECT_EQ(kb.local("Missing"), std::nullopt);
   // Raw access by full key, exactly as the implementation section describes.
   EXPECT_EQ(kb.raw("K1$Multihop"), "true");
@@ -50,13 +50,13 @@ TEST(KnowledgeBase, PutAndTypedReads) {
 TEST(KnowledgeBase, TypeMismatchYieldsNullopt) {
   KnowledgeBase kb("K1");
   kb.put("Multihop", "maybe");
-  EXPECT_EQ(kb.localBool("Multihop"), std::nullopt);
-  EXPECT_EQ(kb.localInt("Multihop"), std::nullopt);
+  EXPECT_EQ(kb.local<bool>("Multihop"), std::nullopt);
+  EXPECT_EQ(kb.local<long long>("Multihop"), std::nullopt);
 }
 
 TEST(KnowledgeBase, ByLabelSpansCreatorsAndEntities) {
   KnowledgeBase kb("K1");
-  kb.putInt("SignalStrength", -67, "SensorA");
+  kb.put("SignalStrength", -67, "SensorA");
   Knowgget remote;
   remote.creator = "K2";
   remote.label = "SignalStrength";
@@ -73,9 +73,9 @@ TEST(KnowledgeBase, ByLabelSpansCreatorsAndEntities) {
 
 TEST(KnowledgeBase, MultilevelPrefixQuery) {
   KnowledgeBase kb("K1");
-  kb.putDouble("TrafficFrequency.TCPSYN", 0.037);
-  kb.putDouble("TrafficFrequency.TCPACK", 0.090);
-  kb.putDouble("TrafficFrequencyOther", 1.0);  // must NOT match
+  kb.put("TrafficFrequency.TCPSYN", 0.037);
+  kb.put("TrafficFrequency.TCPACK", 0.090);
+  kb.put("TrafficFrequencyOther", 1.0);  // must NOT match
   const auto subtree = kb.byLabelPrefix("TrafficFrequency");
   EXPECT_EQ(subtree.size(), 2u);
 }
@@ -84,9 +84,9 @@ TEST(KnowledgeBase, SubscriptionFiresOnChangeOnly) {
   KnowledgeBase kb("K1");
   int calls = 0;
   kb.subscribe("Multihop", [&](const Knowgget&) { ++calls; });
-  kb.putBool("Multihop", true);
-  kb.putBool("Multihop", true);  // unchanged: no notification
-  kb.putBool("Multihop", false);
+  kb.put("Multihop", true);
+  kb.put("Multihop", true);  // unchanged: no notification
+  kb.put("Multihop", false);
   EXPECT_EQ(calls, 2);
 }
 
@@ -94,9 +94,9 @@ TEST(KnowledgeBase, WildcardSubscription) {
   KnowledgeBase kb("K1");
   int calls = 0;
   kb.subscribe("TrafficFrequency.*", [&](const Knowgget&) { ++calls; });
-  kb.putDouble("TrafficFrequency.TCPSYN", 1.0);
-  kb.putDouble("TrafficFrequency.UDP", 2.0);
-  kb.putDouble("Mobility", 3.0);
+  kb.put("TrafficFrequency.TCPSYN", 1.0);
+  kb.put("TrafficFrequency.UDP", 2.0);
+  kb.put("Mobility", 3.0);
   EXPECT_EQ(calls, 2);
 }
 
@@ -110,14 +110,50 @@ TEST(KnowledgeBase, Unsubscribe) {
   EXPECT_EQ(calls, 1);
 }
 
+/// Minimal CollectiveSink recording the labels it saw.
+struct RecordingSink final : CollectiveSink {
+  void onCollective(const Knowgget& k) override { labels.push_back(k.label); }
+  std::vector<std::string> labels;
+};
+
 TEST(KnowledgeBase, CollectiveSinkReceivesOnlyCollective) {
   KnowledgeBase kb("K1");
-  std::vector<std::string> shared;
-  kb.setCollectiveSink([&](const Knowgget& k) { shared.push_back(k.label); });
-  kb.putBool("Mobility", true, "", /*collective=*/true);
-  kb.putBool("Multihop", true, "", /*collective=*/false);
-  ASSERT_EQ(shared.size(), 1u);
-  EXPECT_EQ(shared[0], "Mobility");
+  RecordingSink sink;
+  kb.addCollectiveSink(&sink);
+  kb.put("Mobility", true, "", /*collective=*/true);
+  kb.put("Multihop", true, "", /*collective=*/false);
+  ASSERT_EQ(sink.labels.size(), 1u);
+  EXPECT_EQ(sink.labels[0], "Mobility");
+}
+
+TEST(KnowledgeBase, MultipleCollectiveSinksFireInOrderAndDeduplicate) {
+  KnowledgeBase kb("K1");
+  RecordingSink a;
+  RecordingSink b;
+  kb.addCollectiveSink(&a);
+  kb.addCollectiveSink(&b);
+  kb.addCollectiveSink(&a);  // duplicate registration: no double delivery
+  kb.put("Mobility", true, "", /*collective=*/true);
+  EXPECT_EQ(a.labels, std::vector<std::string>{"Mobility"});
+  EXPECT_EQ(b.labels, std::vector<std::string>{"Mobility"});
+  kb.removeCollectiveSink(&a);
+  kb.put("Mobility", false, "", /*collective=*/true);
+  EXPECT_EQ(a.labels.size(), 1u);
+  EXPECT_EQ(b.labels.size(), 2u);
+}
+
+TEST(KnowledgeBase, TemplatedPutNormalizesArgumentTypes) {
+  KnowledgeBase kb("K1");
+  kb.put("Count", 8);                  // int -> long long
+  kb.put("Share", 0.25f);              // float -> double
+  kb.put("Name", "thermostat");        // const char* -> std::string
+  kb.put("Flag", true);                // bool stays bool
+  EXPECT_EQ(kb.local<long long>("Count"), 8);
+  EXPECT_DOUBLE_EQ(*kb.local<double>("Share"), 0.25);
+  EXPECT_EQ(kb.local("Name"), "thermostat");  // default T = std::string
+  EXPECT_EQ(kb.local<bool>("Flag"), true);
+  // Cross-kind decode of an incompatible encoding yields nullopt.
+  EXPECT_EQ(kb.local<long long>("Name"), std::nullopt);
 }
 
 TEST(KnowledgeBase, RemoteCannotImpersonateLocal) {
@@ -148,7 +184,7 @@ TEST(KnowledgeBase, RemoteUpdateOnlyOwnKnowggets) {
 TEST(KnowledgeBase, WritesDisabledFreezesEverything) {
   KnowledgeBase kb("K1");
   kb.setWritesEnabled(false);
-  kb.putBool("Multihop", true);
+  kb.put("Multihop", true);
   Knowgget remote;
   remote.creator = "K2";
   remote.label = "X";
@@ -159,7 +195,7 @@ TEST(KnowledgeBase, WritesDisabledFreezesEverything) {
 
 TEST(KnowledgeBase, RemoveLocal) {
   KnowledgeBase kb("K1");
-  kb.putBool("Multihop", true);
+  kb.put("Multihop", true);
   EXPECT_TRUE(kb.remove("Multihop"));
   EXPECT_FALSE(kb.remove("Multihop"));
   EXPECT_EQ(kb.local("Multihop"), std::nullopt);
@@ -170,7 +206,7 @@ TEST(KnowledgeBase, ClockStampsUpdates) {
   SimTime now = 0;
   kb.setClock([&] { return now; });
   now = seconds(5);
-  kb.putBool("Multihop", true);
+  kb.put("Multihop", true);
   EXPECT_EQ(kb.all()[0].updated, seconds(5));
 }
 
@@ -178,7 +214,7 @@ TEST(KnowledgeBase, MemoryAccountingGrows) {
   KnowledgeBase kb("K1");
   const std::size_t before = kb.memoryBytes();
   for (int i = 0; i < 50; ++i) {
-    kb.putInt("SignalStrength", -60, "node" + std::to_string(i));
+    kb.put("SignalStrength", -60, "node" + std::to_string(i));
   }
   EXPECT_GT(kb.memoryBytes(), before + 50 * 16);
 }

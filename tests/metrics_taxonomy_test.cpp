@@ -233,10 +233,10 @@ TEST(TaxonomyFig3, RuledOutBySingleHop) {
 
 TEST(TaxonomyFig3, FeaturesFromKnowledgeBase) {
   ids::KnowledgeBase kb("K1");
-  kb.putBool(ids::labels::kMultihop, true);
-  kb.putBool(ids::labels::kMobility, false);
-  kb.putBool("Protocols.TCP", true);
-  kb.putBool("LinkEncryption.P802154", true);
+  kb.put(ids::labels::kMultihop, true);
+  kb.put(ids::labels::kMobility, false);
+  kb.put("Protocols.TCP", true);
+  kb.put("LinkEncryption.P802154", true);
   const auto features = taxonomy::featuresFrom(kb);
   const auto has = [&](Feature f) {
     return std::find(features.begin(), features.end(), f) != features.end();
@@ -252,13 +252,13 @@ TEST(TaxonomyFig3, ModulePredicatesAgreeWithMatrix) {
   // Property: for every detection module specialized on attack A, if the KB
   // establishes a feature that makes A impossible, required() must be false.
   ids::KnowledgeBase kb("K1");
-  kb.putBool(ids::labels::kMultihop, false);
-  kb.putBool(ids::labels::kMultihopWpan, false);
-  kb.putBool(ids::labels::kMultihopWifi, false);
-  kb.putBool("Protocols.ICMP", true);
-  kb.putBool("Protocols.TCP", true);
-  kb.putBool("Protocols.CTP", true);
-  kb.putBool("Protocols.ZigBee", true);
+  kb.put(ids::labels::kMultihop, false);
+  kb.put(ids::labels::kMultihopWpan, false);
+  kb.put(ids::labels::kMultihopWifi, false);
+  kb.put("Protocols.ICMP", true);
+  kb.put("Protocols.TCP", true);
+  kb.put("Protocols.CTP", true);
+  kb.put("Protocols.ZigBee", true);
 
   for (const std::string& name : ids::ModuleRegistry::global().names()) {
     auto module = ids::ModuleRegistry::global().create(name);

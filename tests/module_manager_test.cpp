@@ -16,7 +16,7 @@ class FeatureGatedModule : public DetectionModule {
   std::string name() const override { return "FeatureGatedModule"; }
   AttackType attack() const override { return AttackType::kUnknownAnomaly; }
   bool required(const KnowledgeBase& kb) const override {
-    return kb.localBool("TestFeature").value_or(false);
+    return kb.local<bool>("TestFeature").value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"TestFeature"};
@@ -65,7 +65,7 @@ TEST_F(ManagerFixture, ModuleInactiveUntilKnowledgeAppears) {
   manager.onPacket(somePacket(), seconds(1));
   EXPECT_EQ(raw->packets, 0);  // inactive modules see no traffic
 
-  kb.putBool("TestFeature", true);
+  kb.put("TestFeature", true);
   EXPECT_TRUE(manager.isActive("FeatureGatedModule"));
   EXPECT_EQ(raw->activations, 1);
 
@@ -78,8 +78,8 @@ TEST_F(ManagerFixture, DeactivatesWhenKnowledgeFlips) {
   FeatureGatedModule* raw = module.get();
   manager.addModule(std::move(module));
   manager.start(0);
-  kb.putBool("TestFeature", true);
-  kb.putBool("TestFeature", false);
+  kb.put("TestFeature", true);
+  kb.put("TestFeature", false);
   EXPECT_FALSE(manager.isActive("FeatureGatedModule"));
   EXPECT_EQ(raw->activations, 1);
   EXPECT_EQ(raw->deactivations, 1);
@@ -127,7 +127,7 @@ TEST_F(ManagerFixture, PacketsFlowIntoDataStore) {
 
 TEST_F(ManagerFixture, AddModuleAfterStartIsEvaluatedImmediately) {
   manager.start(0);
-  kb.putBool("TestFeature", true);
+  kb.put("TestFeature", true);
   auto module = std::make_unique<FeatureGatedModule>();
   FeatureGatedModule* raw = module.get();
   manager.addModule(std::move(module));

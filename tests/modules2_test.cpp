@@ -149,9 +149,9 @@ TEST(SybilSinglehop, RequiredOnlyOnKnownSinglehop) {
   KnowledgeBase kb("K1");
   SybilSinglehopModule module;
   EXPECT_FALSE(module.required(kb));  // unknown topology
-  kb.putBool(labels::kMultihopWpan, false);
+  kb.put(labels::kMultihopWpan, false);
   EXPECT_TRUE(module.required(kb));
-  kb.putBool(labels::kMultihopWpan, true);
+  kb.put(labels::kMultihopWpan, true);
   EXPECT_FALSE(module.required(kb));
 }
 
@@ -383,10 +383,10 @@ TEST(DataAlteration, TamperedForwardAlerts) {
 
 TEST(DataAlteration, DeactivatedUnderLinkCrypto) {
   KnowledgeBase kb("K1");
-  kb.putBool(labels::kMultihopWpan, true);
+  kb.put(labels::kMultihopWpan, true);
   DataAlterationModule module;
   EXPECT_TRUE(module.required(kb));
-  kb.putBool("LinkEncryption.P802154", true);
+  kb.put("LinkEncryption.P802154", true);
   EXPECT_FALSE(module.required(kb));
 }
 
@@ -400,8 +400,8 @@ TEST(EncryptionDetection, LinkSecurityBitPublishes) {
   frame.securityEnabled = true;
   frame.payload = bytesOf("x");
   h.feed(module, wpan(frame, seconds(1), -60.0));
-  EXPECT_EQ(h.kb.localBool("LinkEncryption.P802154"), true);
-  EXPECT_EQ(h.kb.localBool("Encrypted", "0x0005"), true);
+  EXPECT_EQ(h.kb.local<bool>("LinkEncryption.P802154"), true);
+  EXPECT_EQ(h.kb.local<bool>("Encrypted", "0x0005"), true);
 }
 
 TEST(EncryptionDetection, HighEntropyPayloadFlagsEntity) {
@@ -416,8 +416,8 @@ TEST(EncryptionDetection, HighEntropyPayloadFlagsEntity) {
   }
   h.feed(module, zigbeeData(net::Mac16{6}, net::Mac16{1}, net::Mac16{6},
                             net::Mac16{1}, 1, seconds(1), -60.0, noise));
-  EXPECT_EQ(h.kb.localBool("Encrypted", "0x0006"), true);
-  EXPECT_EQ(h.kb.localBool("LinkEncryption.P802154"), std::nullopt);
+  EXPECT_EQ(h.kb.local<bool>("Encrypted", "0x0006"), true);
+  EXPECT_EQ(h.kb.local<bool>("LinkEncryption.P802154"), std::nullopt);
 }
 
 TEST(EncryptionDetection, PlaintextStaysUnflagged) {
@@ -428,7 +428,7 @@ TEST(EncryptionDetection, PlaintextStaysUnflagged) {
       "repeated words repeated words repeated words");
   h.feed(module, zigbeeData(net::Mac16{6}, net::Mac16{1}, net::Mac16{6},
                             net::Mac16{1}, 1, seconds(1), -60.0, text));
-  EXPECT_EQ(h.kb.localBool("Encrypted", "0x0006"), std::nullopt);
+  EXPECT_EQ(h.kb.local<bool>("Encrypted", "0x0006"), std::nullopt);
 }
 
 // --- DeviceClassifierModule ----------------------------------------------------------------
@@ -474,7 +474,7 @@ TEST(MobilityAwareness, StaticNetworkPublishesFalse) {
                               seconds(i), -60.0 + 0.2 * (i % 3)));
   }
   h.tick(module, seconds(16));
-  EXPECT_EQ(h.kb.localBool(labels::kMobility), false);
+  EXPECT_EQ(h.kb.local<bool>(labels::kMobility), false);
 }
 
 TEST(MobilityAwareness, TwoMovingEntitiesPublishTrue) {
@@ -490,7 +490,7 @@ TEST(MobilityAwareness, TwoMovingEntitiesPublishTrue) {
                               seconds(i) + milliseconds(200), -48.0 - 1.1 * i));
   }
   h.tick(module, seconds(25));
-  EXPECT_EQ(h.kb.localBool(labels::kMobility), true);
+  EXPECT_EQ(h.kb.local<bool>(labels::kMobility), true);
 }
 
 TEST(MobilityAwareness, SingleAnomalousEntityIsNotNetworkMobility) {
@@ -508,7 +508,7 @@ TEST(MobilityAwareness, SingleAnomalousEntityIsNotNetworkMobility) {
                               (i % 2) ? -55.0 : -85.0));
   }
   h.tick(module, seconds(25));
-  EXPECT_EQ(h.kb.localBool(labels::kMobility), false);
+  EXPECT_EQ(h.kb.local<bool>(labels::kMobility), false);
 }
 
 TEST(MobilityAwareness, PublishesCollectiveSignalStrength) {

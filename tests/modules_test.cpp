@@ -111,8 +111,8 @@ TEST(TopologyDiscovery, ThlAboveZeroMeansMultihop) {
   TopologyDiscoveryModule module;
   h.feed(module, ctpDataPacket(net::Mac16{3}, net::Mac16{2}, net::Mac16{4}, 1,
                                /*thl=*/1, seconds(1)));
-  EXPECT_EQ(h.kb.localBool(labels::kMultihopWpan), true);
-  EXPECT_EQ(h.kb.localBool(labels::kMultihop), true);
+  EXPECT_EQ(h.kb.local<bool>(labels::kMultihopWpan), true);
+  EXPECT_EQ(h.kb.local<bool>(labels::kMultihop), true);
 }
 
 TEST(TopologyDiscovery, SettlesToSinglehopAfterQuietEvidence) {
@@ -124,7 +124,7 @@ TEST(TopologyDiscovery, SettlesToSinglehopAfterQuietEvidence) {
                                  static_cast<std::uint8_t>(i), /*thl=*/0,
                                  seconds(i)));
   }
-  EXPECT_EQ(h.kb.localBool(labels::kMultihopWpan), false);
+  EXPECT_EQ(h.kb.local<bool>(labels::kMultihopWpan), false);
 }
 
 TEST(TopologyDiscovery, SameOriginSeqFromTwoSendersMeansMultihop) {
@@ -134,7 +134,7 @@ TEST(TopologyDiscovery, SameOriginSeqFromTwoSendersMeansMultihop) {
                                0, seconds(1)));
   h.feed(module, ctpDataPacket(net::Mac16{3}, net::Mac16{2}, net::Mac16{4}, 9,
                                0, seconds(1) + milliseconds(10)));
-  EXPECT_EQ(h.kb.localBool(labels::kMultihopWpan), true);
+  EXPECT_EQ(h.kb.local<bool>(labels::kMultihopWpan), true);
 }
 
 TEST(TopologyDiscovery, FirstRootWinsAgainstLaterEtxZero) {
@@ -153,7 +153,7 @@ TEST(TopologyDiscovery, CountsMonitoredNodes) {
   for (std::uint16_t i = 1; i <= 5; ++i) {
     h.feed(module, ctpBeaconPacket(net::Mac16{i}, 20, seconds(i)));
   }
-  EXPECT_EQ(h.kb.localInt(labels::kMonitoredNodes), 5);
+  EXPECT_EQ(h.kb.local<long long>(labels::kMonitoredNodes), 5);
 }
 
 // --- TrafficStatsModule ----------------------------------------------------------------
@@ -163,11 +163,11 @@ TEST(TrafficStats, PublishesProtocolPresence) {
   TrafficStatsModule module;
   h.feed(module, icmpPacket(kAttackerMac, net::Ipv4Addr{1}, kVictimIp,
                             net::IcmpType::kEchoReply, seconds(1)));
-  EXPECT_EQ(h.kb.localBool("Protocols.ICMP"), true);
-  EXPECT_EQ(h.kb.localBool("Protocols.TCP"), std::nullopt);
+  EXPECT_EQ(h.kb.local<bool>("Protocols.ICMP"), true);
+  EXPECT_EQ(h.kb.local<bool>("Protocols.TCP"), std::nullopt);
   h.feed(module, ctpDataPacket(net::Mac16{2}, net::Mac16{1}, net::Mac16{2}, 0,
                                0, seconds(2)));
-  EXPECT_EQ(h.kb.localBool("Protocols.CTP"), true);
+  EXPECT_EQ(h.kb.local<bool>("Protocols.CTP"), true);
 }
 
 TEST(TrafficStats, PublishesGlobalAndPerDeviceRates) {
@@ -179,11 +179,11 @@ TEST(TrafficStats, PublishesGlobalAndPerDeviceRates) {
                               seconds(4) + i * milliseconds(100)));
   }
   h.tick(module, seconds(5));
-  const auto global = h.kb.localDouble("TrafficFrequency.ICMPEchoRep");
+  const auto global = h.kb.local<double>("TrafficFrequency.ICMPEchoRep");
   ASSERT_TRUE(global.has_value());
   EXPECT_NEAR(*global, 2.0, 0.01);  // 10 packets / 5 s window
   const auto perVictim =
-      h.kb.localDouble("TrafficFrequency.ICMPEchoRep", "10.0.0.2");
+      h.kb.local<double>("TrafficFrequency.ICMPEchoRep", "10.0.0.2");
   ASSERT_TRUE(perVictim.has_value());
   EXPECT_NEAR(*perVictim, 2.0, 0.01);
 }
@@ -212,7 +212,7 @@ net::CapturedPacket floodReply(int i, SimTime t) {
 
 TEST(IcmpFlood, DetectsReplyStormOnKnownSinglehop) {
   ModuleHarness h;
-  h.kb.putBool(labels::kMultihopWifi, false);
+  h.kb.put(labels::kMultihopWifi, false);
   IcmpFloodModule module;
   for (int i = 0; i < 80; ++i) {
     h.feed(module, floodReply(i, seconds(10) + i * milliseconds(20)));
@@ -227,7 +227,7 @@ TEST(IcmpFlood, DetectsReplyStormOnKnownSinglehop) {
 
 TEST(IcmpFlood, StaysQuietBelowThreshold) {
   ModuleHarness h;
-  h.kb.putBool(labels::kMultihopWifi, false);
+  h.kb.put(labels::kMultihopWifi, false);
   IcmpFloodModule module;
   for (int i = 0; i < 20; ++i) {
     h.feed(module, floodReply(i, seconds(10) + i * milliseconds(400)));
@@ -248,7 +248,7 @@ TEST(IcmpFlood, WaitsWhileTopologyUnknown) {
 
 TEST(IcmpFlood, DefersToSmurfOnMultihopWithTrigger) {
   ModuleHarness h;
-  h.kb.putBool(labels::kMultihopWifi, true);
+  h.kb.put(labels::kMultihopWifi, true);
   IcmpFloodModule module;
   // Victim's own traffic binds its identity first.
   h.feed(module, icmpPacket(kVictimMac, kVictimIp, net::Ipv4Addr{9},
@@ -278,7 +278,7 @@ TEST(IcmpFlood, RequiredFollowsIcmpPresence) {
   KnowledgeBase kb("K1");
   IcmpFloodModule module;
   EXPECT_FALSE(module.required(kb));
-  kb.putBool("Protocols.ICMP", true);
+  kb.put("Protocols.ICMP", true);
   EXPECT_TRUE(module.required(kb));
 }
 
@@ -329,11 +329,11 @@ TEST(Smurf, FallbackTwoHopSuspectIsVictimOnStarTopology) {
 TEST(Smurf, RequiredNeedsMultihop) {
   KnowledgeBase kb("K1");
   SmurfModule module;
-  kb.putBool("Protocols.ICMP", true);
+  kb.put("Protocols.ICMP", true);
   EXPECT_FALSE(module.required(kb));
-  kb.putBool(labels::kMultihopWifi, true);
+  kb.put(labels::kMultihopWifi, true);
   EXPECT_TRUE(module.required(kb));
-  kb.putBool(labels::kMultihopWifi, false);
+  kb.put(labels::kMultihopWifi, false);
   EXPECT_FALSE(module.required(kb));
 }
 
@@ -473,7 +473,7 @@ class DropRatioBands : public ::testing::TestWithParam<double> {};
 TEST_P(DropRatioBands, ModulesSplitTheRatioSpectrum) {
   const double dropRatio = GetParam();
   ModuleHarness h;
-  h.kb.putBool(labels::kMultihopWpan, true);
+  h.kb.put(labels::kMultihopWpan, true);
   h.kb.put(labels::kCtpRoot, "0x0001");
   SelectiveForwardingModule selective;
   BlackholeModule blackhole;
@@ -600,10 +600,10 @@ TEST(ReplicationModules, RequiredAreMutuallyExclusiveOnMobility) {
   // Unknown mobility: neither activates (no basis to pick a technique).
   EXPECT_FALSE(staticModule.required(kb));
   EXPECT_FALSE(mobileModule.required(kb));
-  kb.putBool(labels::kMobility, false);
+  kb.put(labels::kMobility, false);
   EXPECT_TRUE(staticModule.required(kb));
   EXPECT_FALSE(mobileModule.required(kb));
-  kb.putBool(labels::kMobility, true);
+  kb.put(labels::kMobility, true);
   EXPECT_FALSE(staticModule.required(kb));
   EXPECT_TRUE(mobileModule.required(kb));
 }

@@ -199,7 +199,7 @@ class QuietGatedModule : public ids::SensingModule {
  public:
   std::string name() const override { return "QuietGatedModule"; }
   bool required(const ids::KnowledgeBase& kb) const override {
-    return kb.localBool("Obs.Feature").value_or(false);
+    return kb.local<bool>("Obs.Feature").value_or(false);
   }
   std::vector<std::string> watchedLabels() const override {
     return {"Obs.Feature"};
@@ -259,9 +259,9 @@ TEST_F(ObsManagerFixture, PerModulePacketAlertAndWorkCounters) {
 TEST_F(ObsManagerFixture, ActivationFlipCounterFollowsKnowledge) {
   manager.addModule(std::make_unique<QuietGatedModule>());
   manager.start(seconds(1));
-  kb.putBool("Obs.Feature", true);   // flip on
-  kb.putBool("Obs.Feature", false);  // flip off
-  kb.putBool("Obs.Feature", true);   // flip on again
+  kb.put("Obs.Feature", true);   // flip on
+  kb.put("Obs.Feature", false);  // flip off
+  kb.put("Obs.Feature", true);   // flip on again
   const auto* stats = manager.statsFor("QuietGatedModule");
   ASSERT_NE(stats, nullptr);
   if constexpr (obs::kEnabled) {
@@ -291,10 +291,10 @@ TEST(ObsKnowledgeBase, PublishAndSubscriptionCounters) {
   ids::KnowledgeBase kb("K1");
   int fired = 0;
   kb.subscribe("Traffic.*", [&](const ids::Knowgget&) { ++fired; });
-  kb.putInt("Traffic.TCP", 1);
-  kb.putInt("Traffic.TCP", 1);  // unchanged: no publish, no fire
-  kb.putInt("Traffic.UDP", 2);
-  kb.putInt("Other", 3);
+  kb.put("Traffic.TCP", 1);
+  kb.put("Traffic.TCP", 1);  // unchanged: no publish, no fire
+  kb.put("Traffic.UDP", 2);
+  kb.put("Other", 3);
   EXPECT_EQ(fired, 2);
   if constexpr (obs::kEnabled) {
     EXPECT_EQ(kb.publishes().value(), 3u);

@@ -144,7 +144,7 @@ TEST(PipelineRing, FifoBatchDequeue) {
   EXPECT_EQ(ring.popBatch(out, 100), 2u);
   ASSERT_EQ(out.size(), 5u);
   for (std::uint64_t i = 0; i < 5; ++i) {
-    EXPECT_EQ(out[i].pkt.meta.captureSeq, i);
+    EXPECT_EQ(out[i].value.meta.captureSeq, i);
   }
   const PacketRing::Stats stats = ring.stats();
   EXPECT_EQ(stats.pushed, 5u);
@@ -166,8 +166,8 @@ TEST(PipelineRing, DropNewestRejectsIncoming) {
   std::vector<PacketRing::Item> out;
   ring.popBatch(out, 100);
   ASSERT_EQ(out.size(), 4u);
-  EXPECT_EQ(out[0].pkt.meta.captureSeq, 0u);  // oldest survived
-  EXPECT_EQ(out[3].pkt.meta.captureSeq, 3u);
+  EXPECT_EQ(out[0].value.meta.captureSeq, 0u);  // oldest survived
+  EXPECT_EQ(out[3].value.meta.captureSeq, 3u);
 }
 
 TEST(PipelineRing, DropOldestEvictsQueued) {
@@ -181,8 +181,8 @@ TEST(PipelineRing, DropOldestEvictsQueued) {
   std::vector<PacketRing::Item> out;
   ring.popBatch(out, 100);
   ASSERT_EQ(out.size(), 4u);
-  EXPECT_EQ(out[0].pkt.meta.captureSeq, 6u);  // newest survived
-  EXPECT_EQ(out[3].pkt.meta.captureSeq, 9u);
+  EXPECT_EQ(out[0].value.meta.captureSeq, 6u);  // newest survived
+  EXPECT_EQ(out[3].value.meta.captureSeq, 9u);
 }
 
 TEST(PipelineRing, CloseRejectsPushAndDrains) {
@@ -193,7 +193,7 @@ TEST(PipelineRing, CloseRejectsPushAndDrains) {
             PacketRing::PushResult::kClosed);
   std::vector<PacketRing::Item> out;
   EXPECT_EQ(ring.popBatch(out, 100), 1u);  // drain-on-shutdown
-  EXPECT_EQ(out[0].pkt.meta.captureSeq, 7u);
+  EXPECT_EQ(out[0].value.meta.captureSeq, 7u);
   EXPECT_EQ(ring.popBatch(out, 100), 0u);  // closed and empty
 }
 
@@ -271,10 +271,10 @@ TEST(PipelineBackpressure, DropNewestFiresAndIsCounted) {
     if (pipe.enqueue(wifiFrom(1, seconds(1) + i, i))) ++accepted;
   }
   EXPECT_EQ(accepted, 8u);
-  EXPECT_EQ(pipe.droppedNewest(), 4u);
+  EXPECT_EQ(pipe.stats().droppedNewest, 4u);
   pipe.start();
   pipe.stop();
-  EXPECT_EQ(pipe.processed(), 8u);
+  EXPECT_EQ(pipe.stats().processed, 8u);
   ASSERT_EQ(rec.seen.size(), 8u);
   EXPECT_EQ(rec.seen.front().first, 0u);
 
@@ -296,7 +296,7 @@ TEST(PipelineBackpressure, DropOldestKeepsNewestAndIsCounted) {
   for (std::uint64_t i = 0; i < 12; ++i) {
     EXPECT_TRUE(pipe.enqueue(wifiFrom(1, seconds(1) + i, i)));
   }
-  EXPECT_EQ(pipe.droppedOldest(), 4u);
+  EXPECT_EQ(pipe.stats().droppedOldest, 4u);
   pipe.start();
   pipe.stop();
   ASSERT_EQ(rec.seen.size(), 8u);
@@ -321,8 +321,8 @@ TEST(PipelineBackpressure, BlockPolicyIsLossless) {
     EXPECT_TRUE(pipe.enqueue(wifiFrom(1, seconds(1) + i, i)));
   }
   pipe.stop();
-  EXPECT_EQ(pipe.processed(), kPackets);
-  EXPECT_EQ(pipe.dropped(), 0u);
+  EXPECT_EQ(pipe.stats().processed, kPackets);
+  EXPECT_EQ(pipe.stats().dropped(), 0u);
   ASSERT_EQ(rec.seen.size(), kPackets);
   // FIFO preserved under blocking.
   for (std::uint64_t i = 0; i < kPackets; ++i) {
@@ -429,9 +429,9 @@ TEST(PipelineDrain, StopLosesNoEnqueuedPacket) {
         wifiFrom(static_cast<std::uint8_t>(1 + i % 16), seconds(1) + i, i)));
   }
   pipe.stop();  // immediately: queued packets must still be processed
-  EXPECT_EQ(pipe.enqueued(), kPackets);
-  EXPECT_EQ(pipe.processed(), kPackets);
-  EXPECT_EQ(pipe.dropped(), 0u);
+  EXPECT_EQ(pipe.stats().enqueued, kPackets);
+  EXPECT_EQ(pipe.stats().processed, kPackets);
+  EXPECT_EQ(pipe.stats().dropped(), 0u);
   EXPECT_EQ(rec.seen.size(), kPackets);
 }
 
@@ -501,8 +501,8 @@ TEST(PipelineDeterminism, MatchesDirectReplayFeedByteForByte) {
               ids::toSiemJson(direct.alerts()[i]))
         << "alert " << i << " diverged";
   }
-  EXPECT_EQ(pipe.processed(), trace.size());
-  EXPECT_EQ(pipe.dropped(), 0u);
+  EXPECT_EQ(pipe.stats().processed, trace.size());
+  EXPECT_EQ(pipe.stats().dropped(), 0u);
 }
 
 /// Multi-worker mode on the same trace still finds the flood (all flood
@@ -521,8 +521,8 @@ TEST(PipelineDeterminism, ThreadedModeStillDetectsFlood) {
   pipe.start();
   for (const auto& pkt : trace) ASSERT_TRUE(pipe.enqueue(pkt));
   pipe.stop();
-  EXPECT_EQ(pipe.processed(), trace.size());
-  EXPECT_EQ(pipe.dropped(), 0u);
+  EXPECT_EQ(pipe.stats().processed, trace.size());
+  EXPECT_EQ(pipe.stats().dropped(), 0u);
   bool floodAlert = false;
   for (const auto& alert : pipe.alerts()) {
     if (alert.type == ids::AttackType::kIcmpFlood) floodAlert = true;
