@@ -15,20 +15,37 @@
 // milliseconds, so shard engines share collective knowggets just as peered
 // Kalis nodes do over one-way channels.
 //
+// --chaos PLAN runs the whole exercise under a kalis::chaos fault plan
+// (DESIGN.md §9): the capture worlds get link-level faults (burst loss,
+// duplication, reordering, corruption, crashes) and the pipeline workers get
+// ingestion stalls. PLAN is "key=value,..." or a preset (light/heavy), e.g.
+// --chaos "light" or --chaos "loss=0.05,burst=3,stall-batches=8,stall-us=500".
+//
+// --chaos-diff PLAN instead runs chaos::DiffRunner differential
+// verification: baseline vs faulted vs multi-worker, classifies every SIEM
+// divergence (accounted loss / reordering-tolerant / regression), writes
+// chaos_divergence.json, and exits nonzero on any regression.
+//
 //   ./trace_replay [seed] [--pipeline] [--workers N] [--kb-sync MS]
+//                  [--chaos PLAN | --chaos-diff PLAN]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "attacks/dos_attacks.hpp"
+#include "chaos/diff_runner.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/link_chaos.hpp"
 #include "kalis/kalis_node.hpp"
 #include "metrics/evaluation.hpp"
 #include "metrics/metrics_export.hpp"
 #include "pipeline/kalis_engine.hpp"
 #include "pipeline/pipeline.hpp"
+#include "scenarios/chaos_workload.hpp"
 #include "scenarios/environments.hpp"
 #include "trace/trace_file.hpp"
 
@@ -37,9 +54,12 @@ using namespace kalis;
 namespace {
 
 /// Runs a live simulation and returns everything a sniffer at the IDS spot
-/// captured. `withAttack` adds the ICMP flood.
+/// captured. `withAttack` adds the ICMP flood; `plan` optionally breaks the
+/// links while recording.
 trace::Trace captureTrace(std::uint64_t seed, bool withAttack,
-                          metrics::GroundTruth* truth) {
+                          metrics::GroundTruth* truth,
+                          const chaos::FaultPlan* plan,
+                          chaos::LinkChaos::Stats* tally) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   sim::InternetCloud cloud;
@@ -65,9 +85,51 @@ trace::Trace captureTrace(std::uint64_t seed, bool withAttack,
                    [&](const net::CapturedPacket& pkt) {
                      captured.push_back(pkt);
                    });
+  const auto chaosGuard = chaos::installFaultPlan(world, plan);
   world.start();
   simulator.runUntil(seconds(70));
+  if (chaosGuard && tally) {
+    const chaos::LinkChaos::Stats& s = chaosGuard->stats();
+    tally->rxDropped += s.rxDropped;
+    tally->corrupted += s.corrupted;
+    tally->duplicated += s.duplicated;
+    tally->delayed += s.delayed;
+    tally->crashes += s.crashes;
+  }
   return captured;
+}
+
+/// --chaos-diff: differential verification over the packaged trace_replay
+/// workload; writes the divergence report for the CI artifact.
+int runChaosDiff(std::uint64_t seed, const chaos::FaultPlan& plan,
+                 std::size_t workers) {
+  std::printf("Differential verification under plan [%s], %zu workers\n",
+              plan.describe().c_str(), workers);
+  chaos::DiffRunner runner(scenarios::traceReplayWorkload(seed));
+  const chaos::DiffRunner::Report report = runner.run(plan, workers);
+
+  const auto printDiff = [](const char* name, const chaos::DiffResult& d) {
+    std::printf(
+        "%s: %zu vs %zu alerts — %s (%zu accounted-loss, %zu "
+        "reordering-tolerant, %zu regressions)\n",
+        name, d.baselineAlerts, d.subjectAlerts,
+        d.identical ? "identical" : "diverged",
+        d.count(chaos::DivergenceKind::kAccountedLoss),
+        d.count(chaos::DivergenceKind::kReorderingTolerant),
+        d.count(chaos::DivergenceKind::kRegression));
+  };
+  printDiff("faulted vs baseline      ", report.faultedVsBaseline);
+  printDiff("workers vs deterministic ", report.workersVsDeterministic);
+
+  const char* path = "chaos_divergence.json";
+  std::ofstream out(path, std::ios::trunc);
+  out << report.toJson();
+  std::printf("Divergence report written to %s\n", out ? path : "<failed>");
+  if (report.hasRegression()) {
+    std::printf("REGRESSION: divergences not explained by injected faults\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -78,6 +140,8 @@ int main(int argc, char** argv) {
   std::size_t workers = 4;
   bool kbSync = false;
   std::uint64_t kbSyncMs = 10;
+  std::optional<chaos::FaultPlan> chaosPlan;
+  bool chaosDiff = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--pipeline") == 0) {
       usePipeline = true;
@@ -86,17 +150,47 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--kb-sync") == 0 && i + 1 < argc) {
       kbSync = true;
       kbSyncMs = std::strtoull(argv[++i], nullptr, 10);
+    } else if ((std::strcmp(argv[i], "--chaos") == 0 ||
+                std::strcmp(argv[i], "--chaos-diff") == 0) &&
+               i + 1 < argc) {
+      chaosDiff = std::strcmp(argv[i], "--chaos-diff") == 0;
+      std::string error;
+      chaosPlan = chaos::FaultPlan::parse(argv[++i], &error);
+      if (!chaosPlan) {
+        std::fprintf(stderr, "bad fault plan: %s\n", error.c_str());
+        return 2;
+      }
     } else {
       seed = std::strtoull(argv[i], nullptr, 10);
     }
   }
 
+  if (chaosDiff) return runChaosDiff(seed, *chaosPlan, workers);
+
+  const chaos::FaultPlan* plan = chaosPlan ? &*chaosPlan : nullptr;
+  chaos::LinkChaos::Stats chaosTally;
+  if (plan) {
+    std::printf("Chaos plan active: %s\n", plan->describe().c_str());
+  }
+
   // 1. Record benign traffic and, separately, an attack run.
-  const trace::Trace benign = captureTrace(seed, false, nullptr);
+  const trace::Trace benign =
+      captureTrace(seed, false, nullptr, plan, &chaosTally);
   metrics::GroundTruth truth;
-  const trace::Trace withAttack = captureTrace(seed + 1, true, &truth);
+  const trace::Trace withAttack =
+      captureTrace(seed + 1, true, &truth, plan, &chaosTally);
   std::printf("Recorded %zu benign packets and %zu attack-run packets\n",
               benign.size(), withAttack.size());
+  if (plan) {
+    std::printf(
+        "Injected link faults: %llu dropped, %llu corrupted, %llu "
+        "duplicated, %llu delayed, %llu crashes\n",
+        static_cast<unsigned long long>(chaosTally.rxDropped),
+        static_cast<unsigned long long>(chaosTally.corrupted),
+        static_cast<unsigned long long>(chaosTally.duplicated),
+        static_cast<unsigned long long>(chaosTally.delayed),
+        static_cast<unsigned long long>(chaosTally.crashes));
+  }
 
   // 2. Persist the merged trace in the KTRC on-disk format and reload it —
   //    exactly what the Data Store's log/replay path does.
@@ -117,6 +211,7 @@ int main(int argc, char** argv) {
     popts.policy = pipeline::Backpressure::kBlock;
     popts.knowledgeExchange = kbSync;
     popts.knowledgeSyncInterval = milliseconds(kbSyncMs);
+    if (plan) popts.faults = plan->ingestFaults();
     pipeline::KalisEngineOptions eopts;
     eopts.seedBase = 99;
     eopts.drainUntil = seconds(80);
@@ -158,7 +253,9 @@ int main(int argc, char** argv) {
     outFile << reg.toJson();
     std::printf("Replay metrics written to %s\n",
                 outFile ? metricsPath.c_str() : "<failed>");
-    return eval.detectionRate() > 0.99 ? 0 : 1;
+    // Under an active fault plan detection may legitimately degrade; the
+    // run reports, it does not gate.
+    return plan ? 0 : (eval.detectionRate() > 0.99 ? 0 : 1);
   }
 
   // Direct path: a *fresh* Kalis node on a fresh virtual clock; detection
@@ -184,5 +281,5 @@ int main(int argc, char** argv) {
       kalisBox, replaySim, "trace_replay", "trace_replay.metrics.json");
   std::printf("Replay metrics written to %s\n",
               metricsPath.empty() ? "<failed>" : metricsPath.c_str());
-  return eval.detectionRate() > 0.99 ? 0 : 1;
+  return plan ? 0 : (eval.detectionRate() > 0.99 ? 0 : 1);
 }

@@ -1,0 +1,112 @@
+// chaos::DiffRunner — differential verification (DESIGN.md §9).
+//
+// Runs the same workload (same scenario seed) with a fault plan off and on,
+// and deterministic vs multi-worker, then structurally diffs the SIEM alert
+// streams. Every divergence is classified:
+//
+//   accounted loss       the subject run injected faults (link drops,
+//                        corruption, duplication, or ring evictions) that
+//                        fully account for the missing/extra alert — the
+//                        expected, quantified degradation;
+//   reordering-tolerant  the same alert (attack, module, victim, suspects)
+//                        exists on both sides with a shifted timestamp,
+//                        detail, or confidence — tolerated under reordering;
+//   regression           a divergence nothing injected can explain — the
+//                        detector behaved differently on equivalent input.
+//
+// The report serializes to JSON for the CI artifact
+// (examples/trace_replay --chaos-diff writes chaos_divergence.json).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "kalis/alert.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace kalis::chaos {
+
+/// Everything one workload run produced that the diff needs: the alert
+/// stream (with its canonical SIEM JSON rendering, index-aligned) plus the
+/// exact fault tallies used for accounted-loss attribution.
+struct RunOutput {
+  std::string label;
+  std::vector<ids::Alert> alerts;
+  std::vector<std::string> siemLines;  ///< toSiemJson(alerts[i]), same order
+  pipeline::Pipeline::Stats pipelineStats{};
+  std::uint64_t packetsFed = 0;
+  std::uint64_t linkRxDropped = 0;   ///< LinkChaos burst-loss drops
+  std::uint64_t linkCorrupted = 0;
+  std::uint64_t linkDuplicated = 0;
+  std::uint64_t linkDelayed = 0;
+  std::uint64_t crashes = 0;
+};
+
+enum class DivergenceKind : std::uint8_t {
+  kAccountedLoss,
+  kReorderingTolerant,
+  kRegression,
+};
+
+const char* toString(DivergenceKind kind);
+
+struct Divergence {
+  DivergenceKind kind = DivergenceKind::kRegression;
+  std::string detail;        ///< human-readable classification rationale
+  std::string baselineJson;  ///< SIEM line on the baseline side ("" if none)
+  std::string subjectJson;   ///< SIEM line on the subject side ("" if none)
+};
+
+struct DiffResult {
+  std::string baselineLabel;
+  std::string subjectLabel;
+  std::size_t baselineAlerts = 0;
+  std::size_t subjectAlerts = 0;
+  bool identical = false;  ///< byte-for-byte identical SIEM streams
+  std::vector<Divergence> divergences;
+
+  std::size_t count(DivergenceKind kind) const;
+  bool hasRegression() const {
+    return count(DivergenceKind::kRegression) > 0;
+  }
+};
+
+/// Structural diff of two alert streams. Exactly-equal SIEM lines cancel;
+/// leftovers pair up by structural key (attack, module, victim, suspects)
+/// as reordering-tolerant, and the rest are accounted to injected faults iff
+/// the subject injected strictly more loss/corruption/duplication than the
+/// baseline — otherwise they are regressions.
+DiffResult diffAlertStreams(const RunOutput& baseline,
+                            const RunOutput& subject);
+
+class DiffRunner {
+ public:
+  /// A workload replays one scenario: under `plan` (nullptr = no faults)
+  /// with `workers` pipeline workers (0 = deterministic single-shard mode).
+  using Workload =
+      std::function<RunOutput(const FaultPlan* plan, std::size_t workers)>;
+
+  explicit DiffRunner(Workload workload) : workload_(std::move(workload)) {}
+
+  struct Report {
+    FaultPlan plan;
+    DiffResult faultedVsBaseline;       ///< det+plan vs det, no plan
+    DiffResult workersVsDeterministic;  ///< N workers+plan vs det+plan
+    std::string toJson() const;
+    bool hasRegression() const {
+      return faultedVsBaseline.hasRegression() ||
+             workersVsDeterministic.hasRegression();
+    }
+  };
+
+  /// Three runs: baseline (deterministic, no faults), faulted deterministic,
+  /// faulted multi-worker.
+  Report run(const FaultPlan& plan, std::size_t workers);
+
+ private:
+  Workload workload_;
+};
+
+}  // namespace kalis::chaos

@@ -86,6 +86,7 @@ void ModuleManager::onPacket(const net::CapturedPacket& pkt, SimTime now) {
   const bool sampleLatency =
       obs::kEnabled && (packetsProcessed_ % kLatencySampleEvery) == 0;
   const net::Dissection dis = net::dissect(pkt);
+  if (dis.type == net::PacketType::kMalformed) ++malformedPackets_;
   ModuleContext ctx = makeContext(now);
   // Iterate by index: modules may trigger KB changes that activate/deactivate
   // other modules (vector growth is not possible here, state flips are).
@@ -175,6 +176,7 @@ const ModuleManager::ModuleStats* ModuleManager::statsFor(
 void ModuleManager::collectMetrics(obs::Registry& reg,
                                    const std::string& prefix) const {
   reg.counter(prefix + ".packets_routed", packetsProcessed_);
+  reg.counter(prefix + ".malformed_packets", malformedPackets_);
   reg.counter(prefix + ".work_units", totalWorkUnits_);
   reg.counter(prefix + ".module_activations_seen", moduleActivations_);
   reg.counter(prefix + ".ticks", ticks_);

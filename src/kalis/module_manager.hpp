@@ -67,6 +67,11 @@ class ModuleManager {
   // --- resource accounting (CPU / RAM proxies) --------------------------------
   std::uint64_t totalWorkUnits() const { return totalWorkUnits_; }
   std::uint64_t packetsProcessed() const { return packetsProcessed_; }
+  /// Packets whose dissection verdict was kMalformed (truncated/corrupted
+  /// frames — e.g. chaos bit flips). They are still routed to modules, which
+  /// must tolerate partial dissections; this tally sizes the corruption the
+  /// node absorbed.
+  std::uint64_t malformedPackets() const { return malformedPackets_; }
   /// Bytes of live module state across active modules.
   std::size_t moduleMemoryBytes() const;
   /// Cumulative integral of (active modules) over packets — a load measure.
@@ -115,6 +120,7 @@ class ModuleManager {
   bool evaluating_ = false;  ///< guards re-entrant KB-triggered evaluation
   std::uint64_t totalWorkUnits_ = 0;
   std::uint64_t packetsProcessed_ = 0;
+  std::uint64_t malformedPackets_ = 0;
   std::uint64_t moduleActivations_ = 0;
   SimTime lastEventTime_ = 0;
   obs::Counter ticks_;

@@ -113,6 +113,7 @@ void Pipeline::workerMain(std::size_t shardIdx) {
   shard.engine = factory_(shardIdx);
   std::vector<PacketRing::Item> batch;
   batch.reserve(options_.maxBatch);
+  std::uint64_t batches = 0;
   for (;;) {
     batch.clear();
     const std::size_t n = shard.ring.popBatch(batch, options_.maxBatch);
@@ -122,6 +123,14 @@ void Pipeline::workerMain(std::size_t shardIdx) {
     }
     syncShardKnowledge(shardIdx, /*force=*/false);
     collectFrom(shardIdx, /*shardDone=*/false);
+    // Injected slow-consumer stall (chaos): sleep after every Nth batch so
+    // sustained producers push the ring into its drop policy.
+    ++batches;
+    if (options_.faults.enabled() &&
+        batches % options_.faults.stallEveryBatches == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.faults.stallMicros));
+    }
   }
   shard.engine->finish();
   if (exchange_) {

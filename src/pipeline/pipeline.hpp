@@ -52,6 +52,17 @@
 
 namespace kalis::pipeline {
 
+/// Injected ingestion-level faults (kalis::chaos, DESIGN.md §9): wall-clock
+/// worker stalls at batch boundaries that model a slow consumer and drive
+/// the rings into their configured drop policy under sustained producers.
+/// Zero values = off. Threaded mode only — the deterministic caller-thread
+/// path has no consumer to stall.
+struct IngestFaults {
+  std::size_t stallEveryBatches = 0;  ///< stall after every Nth batch (0=off)
+  std::uint64_t stallMicros = 0;      ///< wall-clock microseconds per stall
+  bool enabled() const { return stallEveryBatches > 0 && stallMicros > 0; }
+};
+
 struct Options {
   /// Worker threads (= shards). Clamped to >= 1; forced to 1 by
   /// `deterministic`.
@@ -75,6 +86,8 @@ struct Options {
   Duration knowledgeSyncInterval = milliseconds(10);
   /// Ring slots per shard exchange inbox (in-flight remote knowggets).
   std::size_t exchangeCapacity = 1024;
+  /// Injected consumer stalls (off by default; see IngestFaults).
+  IngestFaults faults;
 };
 
 class Pipeline {

@@ -1,0 +1,26 @@
+// The trace_replay reference workload packaged for chaos::DiffRunner
+// (DESIGN.md §9): capture a benign HomeWifi trace and a separate ICMP-flood
+// run, splice them (KTRC round trip), and replay the merged trace through
+// kalis::pipeline. The optional FaultPlan perturbs both capture worlds
+// (link level) and the pipeline workers (ingestion level), so one plan
+// exercises every chaos seam end to end.
+#pragma once
+
+#include <cstdint>
+
+#include "chaos/diff_runner.hpp"
+
+namespace kalis::scenarios {
+
+/// One full run. `workers` == 0 selects deterministic single-shard mode
+/// (byte-reproducible); otherwise `workers` threads. A null `plan` runs
+/// clean. The returned output carries the SIEM lines plus exact fault
+/// tallies for accounted-loss attribution.
+chaos::RunOutput runTraceReplayWorkload(std::uint64_t seed,
+                                        const chaos::FaultPlan* plan,
+                                        std::size_t workers);
+
+/// Binds `seed` for DiffRunner.
+chaos::DiffRunner::Workload traceReplayWorkload(std::uint64_t seed);
+
+}  // namespace kalis::scenarios

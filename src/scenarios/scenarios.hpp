@@ -14,20 +14,36 @@
 #include "metrics/ground_truth.hpp"
 #include "scenarios/common.hpp"
 
+namespace kalis::chaos {
+struct FaultPlan;
+}
+
 namespace kalis::scenarios {
 
-ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed);
-ScenarioResult runSmurf(SystemKind system, std::uint64_t seed);
-ScenarioResult runSynFlood(SystemKind system, std::uint64_t seed);
-ScenarioResult runSelectiveForwarding(SystemKind system, std::uint64_t seed);
-ScenarioResult runBlackhole(SystemKind system, std::uint64_t seed);
-ScenarioResult runSybil(SystemKind system, std::uint64_t seed);
-ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed);
+// Every Fig. 8 runner optionally takes a chaos::FaultPlan (DESIGN.md §9):
+// when non-null, a chaos::LinkChaos injector is installed on the World for
+// the whole run, so any scenario can be replayed under any fault plan. A
+// null plan (the default) leaves the run byte-for-byte unchanged.
+ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed,
+                            const chaos::FaultPlan* faults = nullptr);
+ScenarioResult runSmurf(SystemKind system, std::uint64_t seed,
+                        const chaos::FaultPlan* faults = nullptr);
+ScenarioResult runSynFlood(SystemKind system, std::uint64_t seed,
+                           const chaos::FaultPlan* faults = nullptr);
+ScenarioResult runSelectiveForwarding(SystemKind system, std::uint64_t seed,
+                                      const chaos::FaultPlan* faults = nullptr);
+ScenarioResult runBlackhole(SystemKind system, std::uint64_t seed,
+                            const chaos::FaultPlan* faults = nullptr);
+ScenarioResult runSybil(SystemKind system, std::uint64_t seed,
+                        const chaos::FaultPlan* faults = nullptr);
+ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed,
+                           const chaos::FaultPlan* faults = nullptr);
 
 /// §VI-B2. One run = one random static/mobile schedule with 3 replicas; the
 /// traditional baseline is configured with one randomly chosen replication
 /// module ("closely simulating a static module library configuration").
-ScenarioResult runReplication(SystemKind system, std::uint64_t seed);
+ScenarioResult runReplication(SystemKind system, std::uint64_t seed,
+                              const chaos::FaultPlan* faults = nullptr);
 
 /// §VI-D. Runs only Kalis (two nodes); `collaborative` toggles collective
 /// knowledge (the paper's mechanism) on and off (the ablation).
@@ -37,7 +53,8 @@ struct WormholeResult {
   bool blackholeOnly = false;   ///< what happens without collaboration
   std::size_t collectiveExchanged = 0;
 };
-WormholeResult runWormhole(std::uint64_t seed, bool collaborative);
+WormholeResult runWormhole(std::uint64_t seed, bool collaborative,
+                           const chaos::FaultPlan* faults = nullptr);
 
 /// §VI-C. Kalis starts with no detection module active and no a-priori
 /// knowledge; measures whether dynamic activation still catches everything.
@@ -66,9 +83,12 @@ struct LiveCountermeasureResult {
 };
 LiveCountermeasureResult runLiveCountermeasure(std::uint64_t seed);
 
-/// All eight Fig. 8 scenarios for one system.
+/// All eight Fig. 8 scenarios for one system (all under the same optional
+/// fault plan).
 std::vector<ScenarioResult> runAllScenarios(SystemKind system,
-                                            std::uint64_t seed);
+                                            std::uint64_t seed,
+                                            const chaos::FaultPlan* faults =
+                                                nullptr);
 
 /// Names of the eight Fig. 8 scenarios, in runAllScenarios order.
 const std::vector<std::string>& scenarioNames();

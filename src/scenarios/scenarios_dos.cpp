@@ -4,6 +4,7 @@
 #include "attacks/dos_attacks.hpp"
 #include "attacks/sixlowpan_attacks.hpp"
 #include "scenarios/environments.hpp"
+#include "chaos/link_chaos.hpp"
 #include "scenarios/scenarios.hpp"
 
 namespace kalis::scenarios {
@@ -20,7 +21,8 @@ void markApplicability(ScenarioResult& result, IdsHarness& harness) {
 
 }  // namespace
 
-ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed) {
+ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed,
+                            const chaos::FaultPlan* faults) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   sim::InternetCloud cloud;
@@ -44,6 +46,7 @@ ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed) {
   IdsHarness harness(simulator, IdsHarness::Options{system, "K1", {}, ""});
   harness.attach(world, home.ids,
                  {net::Medium::kWifi, net::Medium::kBluetooth});
+  const auto chaosGuard = chaos::installFaultPlan(world, faults);
   world.start();
   harness.start();
   const Duration simulated = seconds(20 + 50 * 8 + 10);
@@ -54,7 +57,8 @@ ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed) {
   return result;
 }
 
-ScenarioResult runSmurf(SystemKind system, std::uint64_t seed) {
+ScenarioResult runSmurf(SystemKind system, std::uint64_t seed,
+                        const chaos::FaultPlan* faults) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   SixlowpanTree tree = buildSixlowpanTree(world, seconds(3));
@@ -80,6 +84,7 @@ ScenarioResult runSmurf(SystemKind system, std::uint64_t seed) {
 
   IdsHarness harness(simulator, IdsHarness::Options{system, "K1", {}, ""});
   harness.attach(world, tree.ids, {net::Medium::kIeee802154});
+  const auto chaosGuard = chaos::installFaultPlan(world, faults);
   world.start();
   harness.start();
   const Duration simulated = seconds(20 + 50 * 8 + 10);
@@ -90,7 +95,8 @@ ScenarioResult runSmurf(SystemKind system, std::uint64_t seed) {
   return result;
 }
 
-ScenarioResult runSynFlood(SystemKind system, std::uint64_t seed) {
+ScenarioResult runSynFlood(SystemKind system, std::uint64_t seed,
+                           const chaos::FaultPlan* faults) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   sim::InternetCloud cloud;
@@ -114,6 +120,7 @@ ScenarioResult runSynFlood(SystemKind system, std::uint64_t seed) {
 
   IdsHarness harness(simulator, IdsHarness::Options{system, "K1", {}, ""});
   harness.attach(world, home.ids, {net::Medium::kWifi});
+  const auto chaosGuard = chaos::installFaultPlan(world, faults);
   world.start();
   harness.start();
   const Duration simulated = seconds(20 + 50 * 8 + 10);

@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "attacks/forwarding_attacks.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/link_chaos.hpp"
 #include "kalis/countermeasures.hpp"
 #include "scenarios/environments.hpp"
 #include "scenarios/scenarios.hpp"
@@ -118,7 +120,8 @@ LiveCountermeasureResult runLiveCountermeasure(std::uint64_t seed) {
   return result;
 }
 
-WormholeResult runWormhole(std::uint64_t seed, bool collaborative) {
+WormholeResult runWormhole(std::uint64_t seed, bool collaborative,
+                           const chaos::FaultPlan* faults) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   ZigbeeWormholeChain chain =
@@ -147,6 +150,7 @@ WormholeResult runWormhole(std::uint64_t seed, bool collaborative) {
   if (collaborative) {
     ids::KalisNode::discoverPeers(*k1.kalis(), *k2.kalis());
   }
+  const auto chaosGuard = chaos::installFaultPlan(world, faults);
   world.start();
   k1.start();
   k2.start();
@@ -245,16 +249,17 @@ const std::vector<std::string>& scenarioNames() {
 }
 
 std::vector<ScenarioResult> runAllScenarios(SystemKind system,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed,
+                                            const chaos::FaultPlan* faults) {
   std::vector<ScenarioResult> results;
-  results.push_back(runIcmpFlood(system, seed));
-  results.push_back(runSmurf(system, seed));
-  results.push_back(runSynFlood(system, seed));
-  results.push_back(runSelectiveForwarding(system, seed));
-  results.push_back(runBlackhole(system, seed));
-  results.push_back(runReplication(system, seed));
-  results.push_back(runSybil(system, seed));
-  results.push_back(runSinkhole(system, seed));
+  results.push_back(runIcmpFlood(system, seed, faults));
+  results.push_back(runSmurf(system, seed, faults));
+  results.push_back(runSynFlood(system, seed, faults));
+  results.push_back(runSelectiveForwarding(system, seed, faults));
+  results.push_back(runBlackhole(system, seed, faults));
+  results.push_back(runReplication(system, seed, faults));
+  results.push_back(runSybil(system, seed, faults));
+  results.push_back(runSinkhole(system, seed, faults));
   return results;
 }
 

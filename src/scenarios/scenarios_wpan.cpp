@@ -5,6 +5,7 @@
 #include "attacks/forwarding_attacks.hpp"
 #include "attacks/wpan_attacks.hpp"
 #include "scenarios/environments.hpp"
+#include "chaos/link_chaos.hpp"
 #include "scenarios/scenarios.hpp"
 
 namespace kalis::scenarios {
@@ -20,7 +21,8 @@ void markApplicability(ScenarioResult& result, IdsHarness& harness) {
 
 ScenarioResult runForwardingAttack(SystemKind system, std::uint64_t seed,
                                    double dropProb, ids::AttackType type,
-                                   const char* name) {
+                                   const char* name,
+                                   const chaos::FaultPlan* faults) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   Wsn wsn = buildWsn(world, 5, seconds(3));
@@ -33,6 +35,7 @@ ScenarioResult runForwardingAttack(SystemKind system, std::uint64_t seed,
 
   IdsHarness harness(simulator, IdsHarness::Options{system, "K1", {}, ""});
   harness.attach(world, wsn.ids, {net::Medium::kIeee802154});
+  const auto chaosGuard = chaos::installFaultPlan(world, faults);
   world.start();
   harness.start();
   const Duration simulated = seconds(160);
@@ -45,18 +48,21 @@ ScenarioResult runForwardingAttack(SystemKind system, std::uint64_t seed,
 
 }  // namespace
 
-ScenarioResult runSelectiveForwarding(SystemKind system, std::uint64_t seed) {
+ScenarioResult runSelectiveForwarding(SystemKind system, std::uint64_t seed,
+                                      const chaos::FaultPlan* faults) {
   return runForwardingAttack(system, seed, 0.5,
                              ids::AttackType::kSelectiveForwarding,
-                             "Selective Forwarding");
+                             "Selective Forwarding", faults);
 }
 
-ScenarioResult runBlackhole(SystemKind system, std::uint64_t seed) {
+ScenarioResult runBlackhole(SystemKind system, std::uint64_t seed,
+                            const chaos::FaultPlan* faults) {
   return runForwardingAttack(system, seed, 1.0, ids::AttackType::kBlackhole,
-                             "Blackhole");
+                             "Blackhole", faults);
 }
 
-ScenarioResult runSybil(SystemKind system, std::uint64_t seed) {
+ScenarioResult runSybil(SystemKind system, std::uint64_t seed,
+                        const chaos::FaultPlan* faults) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   Wsn wsn = buildWsn(world, 5, seconds(3));
@@ -85,6 +91,7 @@ ScenarioResult runSybil(SystemKind system, std::uint64_t seed) {
   }
   IdsHarness harness(simulator, options);
   harness.attach(world, wsn.ids, {net::Medium::kIeee802154});
+  const auto chaosGuard = chaos::installFaultPlan(world, faults);
   world.start();
   harness.start();
   const Duration simulated = seconds(90);
@@ -95,7 +102,8 @@ ScenarioResult runSybil(SystemKind system, std::uint64_t seed) {
   return result;
 }
 
-ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed) {
+ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed,
+                           const chaos::FaultPlan* faults) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   Wsn wsn = buildWsn(world, 5, seconds(3));
@@ -117,6 +125,7 @@ ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed) {
 
   IdsHarness harness(simulator, IdsHarness::Options{system, "K1", {}, ""});
   harness.attach(world, wsn.ids, {net::Medium::kIeee802154});
+  const auto chaosGuard = chaos::installFaultPlan(world, faults);
   world.start();
   harness.start();
   const Duration simulated = seconds(130);
@@ -127,7 +136,8 @@ ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed) {
   return result;
 }
 
-ScenarioResult runReplication(SystemKind system, std::uint64_t seed) {
+ScenarioResult runReplication(SystemKind system, std::uint64_t seed,
+                              const chaos::FaultPlan* faults) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   ZigbeeStar star = buildZigbeeStar(world, 4, seconds(2));
@@ -191,6 +201,7 @@ ScenarioResult runReplication(SystemKind system, std::uint64_t seed) {
   }
   IdsHarness harness(simulator, options);
   harness.attach(world, star.ids, {net::Medium::kIeee802154});
+  const auto chaosGuard = chaos::installFaultPlan(world, faults);
   world.start();
   harness.start();
   const Duration simulated = seconds(125);

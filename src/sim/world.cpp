@@ -140,6 +140,16 @@ bool World::isRevoked(NodeId id) const {
   return nodes_.at(id).revokedUntil > sim_.now();
 }
 
+void World::setDownFor(NodeId id, Duration period) {
+  nodes_.at(id).downUntil = sim_.now() + period;
+  KALIS_DEBUG("world", nameOf(id) << " down (injected crash) until "
+                                  << toSeconds(nodes_.at(id).downUntil) << "s");
+}
+
+bool World::isDown(NodeId id) const {
+  return nodes_.at(id).downUntil > sim_.now();
+}
+
 void World::start() {
   assert(!started_);
   started_ = true;
@@ -179,9 +189,23 @@ void World::send(NodeId from, net::Medium medium, Bytes frame) {
     KALIS_WARN("world", nameOf(from) << " tried to send on a disabled radio");
     return;
   }
-  if (isRevoked(from)) return;
+  if (isRevoked(from) || isDown(from)) return;
   ++counters_.framesSent;
-  const Duration airtime = txDuration(medium, frame.size());
+  Duration airtime = txDuration(medium, frame.size());
+  if (faults_) {
+    LinkFaultInjector::TxFault tx =
+        faults_->onTransmit(from, medium, frame, sim_.now());
+    if (tx.drop) return;
+    if (tx.corrupted) frame = std::move(*tx.corrupted);
+    airtime += tx.extraDelay;
+    // Duplicates arrive back-to-back after the original, as a retransmitting
+    // radio would produce them.
+    for (unsigned i = 1; i <= tx.duplicates; ++i) {
+      sim_.schedule(airtime + airtime * i, [this, from, medium, frame] {
+        deliver(from, medium, frame);
+      });
+    }
+  }
   sim_.schedule(airtime, [this, from, medium, frame = std::move(frame)] {
     deliver(from, medium, frame);
   });
@@ -203,10 +227,16 @@ void World::deliver(NodeId from, net::Medium medium, const Bytes& frame) {
     auto& receiver = nodes_[to];
     const RadioState& radio = receiver.radios[mindex(medium)];
     if (!radio.enabled || radio.config.channel != channel) continue;
-    if (isRevoked(to)) continue;
+    if (isRevoked(to) || isDown(to)) continue;
 
     const double dist = distance(sender.position, receiver.position);
-    const double rssi = prop.rssiDbm(txPower, dist, from, to, fadingRng_);
+    double rssi = prop.rssiDbm(txPower, dist, from, to, fadingRng_);
+    if (faults_) {
+      const LinkFaultInjector::RxFault rx =
+          faults_->onReceive(from, to, medium, sim_.now());
+      if (rx.drop) continue;
+      rssi += rx.rssiOffsetDb;
+    }
     if (rssi < radio.config.sensitivityDbm) continue;
     if (lossProbability_[mindex(medium)] > 0.0 &&
         fadingRng_.nextBool(lossProbability_[mindex(medium)])) {

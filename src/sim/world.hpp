@@ -79,6 +79,36 @@ class Behavior {
 
 using SnifferCallback = std::function<void(const net::CapturedPacket&)>;
 
+/// Chaos seam (src/chaos): consulted once per transmission and once per
+/// candidate receiver. A default-constructed fault (no drop, no duplicate,
+/// no delay, no corruption, zero RSSI offset) MUST leave the world's event
+/// schedule and RNG draws untouched, so an installed injector whose plan is
+/// all-zero reproduces the uninstrumented run byte-for-byte.
+class LinkFaultInjector {
+ public:
+  virtual ~LinkFaultInjector() = default;
+
+  /// Per-transmission decision, taken before the frame goes on the air.
+  struct TxFault {
+    bool drop = false;            ///< frame never delivered to anyone
+    unsigned duplicates = 0;      ///< extra back-to-back deliveries
+    Duration extraDelay = 0;      ///< reordering: shift past later frames
+    std::optional<Bytes> corrupted;  ///< replacement (bit-flipped) payload
+  };
+
+  /// Per-receiver decision, taken after propagation but before the
+  /// sensitivity threshold (a negative offset can push a frame below it).
+  struct RxFault {
+    bool drop = false;        ///< burst loss on this directed link
+    double rssiOffsetDb = 0;  ///< jitter added to the computed RSSI
+  };
+
+  virtual TxFault onTransmit(NodeId from, net::Medium medium,
+                             const Bytes& frame, SimTime now) = 0;
+  virtual RxFault onReceive(NodeId from, NodeId to, net::Medium medium,
+                            SimTime now) = 0;
+};
+
 class World {
  public:
   explicit World(Simulator& sim);
@@ -113,6 +143,16 @@ class World {
   /// neither transmit nor receive).
   void revoke(NodeId id, Duration period);
   bool isRevoked(NodeId id) const;
+
+  /// Fault injection (crash/restart): the node is offline for `period` —
+  /// distinct from revocation so countermeasure bookkeeping stays clean.
+  void setDownFor(NodeId id, Duration period);
+  bool isDown(NodeId id) const;
+
+  /// Installs (or clears, with nullptr) the fault-injection seam. Non-owning;
+  /// the injector must outlive every subsequent Simulator::run* call.
+  void setFaultInjector(LinkFaultInjector* injector) { faults_ = injector; }
+  LinkFaultInjector* faultInjector() const { return faults_; }
 
   // --- queries --------------------------------------------------------------
   Simulator& sim() { return sim_; }
@@ -157,6 +197,7 @@ class World {
     std::unique_ptr<Behavior> behavior;
     std::unique_ptr<MobilityModel> mobility;
     SimTime revokedUntil = 0;
+    SimTime downUntil = 0;  ///< injected crash (setDownFor), not revocation
   };
 
   static std::size_t mindex(net::Medium m) { return static_cast<std::size_t>(m); }
@@ -171,6 +212,7 @@ class World {
   bool started_ = false;
   Counters counters_;
   Rng fadingRng_;
+  LinkFaultInjector* faults_ = nullptr;
 };
 
 /// Transmission time of a frame on a medium (used for the send->delivery

@@ -1,0 +1,82 @@
+// Golden SIEM-trace regression tests (DESIGN.md §9): the committed files in
+// tests/golden/ hold the exact SIEM JSON stream of one reference scenario
+// and one pipeline trace-replay run. Any byte of drift — alert content,
+// ordering, JSON shape, timestamping — fails the test.
+//
+// Regenerating after an INTENDED output change:
+//
+//   KALIS_REGEN_GOLDEN=1 ./build/tests/kalis_tests --gtest_filter='Golden*'
+//
+// then review the diff of tests/golden/ like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kalis/siem_export.hpp"
+#include "scenarios/chaos_workload.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace kalis {
+namespace {
+
+bool regenRequested() {
+  const char* env = std::getenv("KALIS_REGEN_GOLDEN");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+std::filesystem::path goldenPath(const std::string& name) {
+  return std::filesystem::path(KALIS_TEST_GOLDEN_DIR) / name;
+}
+
+/// Compares the produced lines against the committed golden file byte for
+/// byte — or rewrites the file when KALIS_REGEN_GOLDEN is set.
+void checkGolden(const std::string& name,
+                 const std::vector<std::string>& lines) {
+  std::ostringstream produced;
+  for (const std::string& line : lines) produced << line << '\n';
+
+  const std::filesystem::path path = goldenPath(name);
+  if (regenRequested()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << produced.str();
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run with KALIS_REGEN_GOLDEN=1 to create it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), produced.str())
+      << "SIEM output drifted from " << path
+      << "\nIf the change is intended, regenerate with KALIS_REGEN_GOLDEN=1 "
+         "and review the diff.";
+}
+
+TEST(GoldenTrace, IcmpFloodScenarioSiemStream) {
+  const scenarios::ScenarioResult result =
+      scenarios::runIcmpFlood(scenarios::SystemKind::kKalis, 42);
+  std::vector<std::string> lines;
+  lines.reserve(result.alerts.size());
+  for (const ids::Alert& alert : result.alerts) {
+    lines.push_back(ids::toSiemJson(alert));
+  }
+  ASSERT_FALSE(lines.empty());
+  checkGolden("icmp_flood_kalis_seed42.siem.jsonl", lines);
+}
+
+TEST(GoldenTrace, PipelineTraceReplaySiemStream) {
+  const chaos::RunOutput out =
+      scenarios::runTraceReplayWorkload(21, nullptr, 0);
+  ASSERT_FALSE(out.siemLines.empty());
+  checkGolden("trace_replay_pipeline_seed21.siem.jsonl", out.siemLines);
+}
+
+}  // namespace
+}  // namespace kalis

@@ -3,6 +3,7 @@
 // tables/figures keep their shape.
 #include <gtest/gtest.h>
 
+#include "chaos/fault_plan.hpp"
 #include "scenarios/scenarios.hpp"
 
 namespace kalis::scenarios {
@@ -163,6 +164,83 @@ TEST(Determinism, SameSeedSameResult) {
   EXPECT_EQ(a.alerts.size(), b.alerts.size());
   EXPECT_EQ(a.packetsSniffed, b.packetsSniffed);
   EXPECT_DOUBLE_EQ(a.cpuPercent, b.cpuPercent);
+}
+
+// --- scenarios under a nonzero fault plan (DESIGN.md §9) ---------------------
+//
+// Light but real link loss must degrade gracefully: the attacks are still
+// detected and the alert stream stays correctly classified (no fault-induced
+// false positives). Suites are Chaos* so the CI chaos job replays them.
+
+TEST(ChaosScenarioDos, IcmpFloodDetectedUnderLightLoss) {
+  const auto plan = chaos::FaultPlan::parse("loss=0.05,burst=3");
+  ASSERT_TRUE(plan.has_value());
+  const ScenarioResult result =
+      runIcmpFlood(SystemKind::kKalis, 42, &*plan);
+  // 5% burst loss thins some attack bursts below the detection threshold:
+  // graceful degradation from the clean run's 1.0, never blindness.
+  EXPECT_GT(result.detectionRate(), 0.8);
+  // False positives bounded: every alert still matches a true instance.
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+  for (const auto& alert : result.alerts) {
+    EXPECT_EQ(alert.type, ids::AttackType::kIcmpFlood);
+  }
+}
+
+TEST(ChaosScenarioDos, SynFloodDetectedUnderLightLoss) {
+  const auto plan = chaos::FaultPlan::parse("loss=0.05,burst=3");
+  ASSERT_TRUE(plan.has_value());
+  const ScenarioResult result = runSynFlood(SystemKind::kKalis, 7, &*plan);
+  EXPECT_GT(result.detectionRate(), 0.9);
+  for (const auto& alert : result.alerts) {
+    EXPECT_EQ(alert.type, ids::AttackType::kSynFlood);
+  }
+}
+
+TEST(ChaosScenarioWpan, ForwardingAttacksDetectedUnderLoss) {
+  const auto plan = chaos::FaultPlan::parse("loss=0.05,burst=2");
+  ASSERT_TRUE(plan.has_value());
+  const auto selective =
+      runSelectiveForwarding(SystemKind::kKalis, 7, &*plan);
+  EXPECT_GT(selective.detectionRate(), 0.8);
+  for (const auto& alert : selective.alerts) {
+    // Loss may only push the verdict toward the *lossier* sibling class.
+    EXPECT_TRUE(alert.type == ids::AttackType::kSelectiveForwarding ||
+                alert.type == ids::AttackType::kBlackhole)
+        << ids::attackName(alert.type);
+  }
+  const auto blackhole = runBlackhole(SystemKind::kKalis, 7, &*plan);
+  EXPECT_GT(blackhole.detectionRate(), 0.8);
+  for (const auto& alert : blackhole.alerts) {
+    // Lost sniffer observations can make a 100%-dropping relay look like a
+    // selective forwarder — the same sibling-class blur, other direction.
+    EXPECT_TRUE(alert.type == ids::AttackType::kBlackhole ||
+                alert.type == ids::AttackType::kSelectiveForwarding)
+        << ids::attackName(alert.type);
+  }
+}
+
+TEST(ChaosScenarioSpecial, WormholeStillDetectedUnderLoss) {
+  const auto plan = chaos::FaultPlan::parse("loss=0.03,burst=2");
+  ASSERT_TRUE(plan.has_value());
+  const auto result = runWormhole(7000, /*collaborative=*/true, &*plan);
+  // The collective-knowledge upgrade must survive light loss: the relayed
+  // command stream is redundant enough that both halves keep seeing it.
+  EXPECT_FALSE(result.combined.alerts.empty());
+  EXPECT_TRUE(result.wormholeClassified);
+  EXPECT_GT(result.collectiveExchanged, 0u);
+}
+
+TEST(ChaosScenarioAll, LightPlanNeverZeroesDetection) {
+  // The whole Fig. 8 roster under the light preset: chaos degrades, it must
+  // not blind the IDS on any scenario.
+  const auto plan = chaos::FaultPlan::parse("light");
+  ASSERT_TRUE(plan.has_value());
+  const auto results = runAllScenarios(SystemKind::kKalis, 100, &*plan);
+  ASSERT_EQ(results.size(), scenarioNames().size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_GT(results[i].detectionRate(), 0.5) << scenarioNames()[i];
+  }
 }
 
 TEST(Fig8Shape, KalisNeverWorseThanTraditional) {
