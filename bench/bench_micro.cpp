@@ -6,10 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "baseline/snort_engine.hpp"
+#include "kalis/entity_map.hpp"
 #include "kalis/kalis_node.hpp"
 #include "metrics/metrics_export.hpp"
+#include "net/dissect_legacy.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -83,6 +87,64 @@ void BM_Dissect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dissect);
+
+// Head-to-head for DESIGN.md §10: the in-place dissector (views aliasing
+// pkt.raw) vs the frozen copying dissector (every payload an owning
+// std::vector). Same frame, same layer stack.
+void BM_DissectInPlace(benchmark::State& state) {
+  const net::CapturedPacket pkt = makeIcmpPacket(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::dissect(pkt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DissectInPlace);
+
+void BM_DissectLegacyCopy(benchmark::State& state) {
+  const net::CapturedPacket pkt = makeIcmpPacket(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::legacy::dissectLegacy(pkt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DissectLegacyCopy);
+
+// Per-packet detection-state touch: EntityRef-keyed lookup (constexpr FNV
+// key over 18 bytes) vs the legacy pattern of formatting the entity string
+// and probing a std::map<std::string, T>. Mirrors what the flood modules do
+// for every frame.
+void BM_EntityStateTouch_EntityRef(benchmark::State& state) {
+  ids::EntityKeyedMap<std::uint64_t> counters;
+  for (std::uint16_t i = 0; i < 64; ++i) {
+    counters.tryEmplace(net::EntityRef::of(net::Mac16{i}), 0);
+  }
+  const net::CapturedPacket pkt = makeIcmpPacket(7);
+  const net::Dissection dis = net::dissect(pkt);
+  for (auto _ : state) {
+    auto [entry, inserted] = counters.tryEmplace(dis.linkSourceRef(), 0);
+    ++entry->value;
+    benchmark::DoNotOptimize(entry);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EntityStateTouch_EntityRef);
+
+void BM_EntityStateTouch_StringKey(benchmark::State& state) {
+  std::map<std::string, std::uint64_t> counters;
+  for (std::uint16_t i = 0; i < 64; ++i) {
+    counters.emplace(net::EntityRef::of(net::Mac16{i}).toString(), 0);
+  }
+  const net::CapturedPacket pkt = makeIcmpPacket(7);
+  const net::Dissection dis = net::dissect(pkt);
+  for (auto _ : state) {
+    // The legacy hot path: format the label, then tree-walk on strings.
+    auto [it, inserted] = counters.emplace(dis.linkSource(), 0);
+    ++it->second;
+    benchmark::DoNotOptimize(it);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EntityStateTouch_StringKey);
 
 void BM_KalisEnginePerPacket(benchmark::State& state) {
   sim::Simulator simulator(1);

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the bench JSON artifacts.
+
+Compares a freshly produced BENCH_pipeline.json / BENCH_chaos.json against
+the committed baseline of the same name and fails (exit 1) when any matched
+run's packets-per-second drops by more than the tolerance (default 10%).
+Faster-than-baseline runs always pass; new runs with no baseline entry are
+reported but do not fail the gate (the baseline should be refreshed to
+include them).
+
+Usage:
+  scripts/perf_gate.py --baseline BENCH_pipeline.json \
+                       --current build/bench/BENCH_pipeline.json \
+                       [--tolerance 0.10]
+
+Runs are matched by a stable identity: (name, workers, exchange) for
+pipeline runs, (name, workers) for chaos pipeline runs, and (name,) for
+chaos scenario rows (scenario rows gate on wall_sec growth instead of pps).
+When the baseline was recorded on a machine with a different
+hardware_concurrency the pps comparison is apples-to-oranges; the gate
+widens the tolerance to --cross-machine-tolerance (default 35%) and says
+so, rather than silently passing or spuriously failing.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def run_identity(run):
+    """Stable key for matching a run between baseline and current."""
+    key = [run.get("name", "?")]
+    if "workers" in run:
+        key.append(f"workers={run['workers']}")
+    if "exchange" in run:
+        key.append(f"exchange={run['exchange']}")
+    return " ".join(str(k) for k in key)
+
+
+def collect_runs(doc):
+    """Yield (identity, metric_name, value, higher_is_better) per gated row."""
+    for run in doc.get("runs", []) + doc.get("pipeline_runs", []):
+        if "pps" in run:
+            yield run_identity(run), "pps", float(run["pps"]), True
+    for run in doc.get("scenario_runs", []):
+        if "wall_sec" in run:
+            yield run_identity(run), "wall_sec", float(run["wall_sec"]), False
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="max fractional regression before failing (0.10 = 10%%)")
+    ap.add_argument("--cross-machine-tolerance", type=float, default=0.35,
+                    help="tolerance when hardware_concurrency differs")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+
+    tol = args.tolerance
+    base_hw = base_doc.get("hardware_concurrency")
+    cur_hw = cur_doc.get("hardware_concurrency")
+    if base_hw is not None and cur_hw is not None and base_hw != cur_hw:
+        tol = max(tol, args.cross_machine_tolerance)
+        print(f"perf_gate: baseline hardware_concurrency={base_hw} != "
+              f"current {cur_hw}; widening tolerance to {tol:.0%}")
+
+    baseline = {ident: (metric, value, hib)
+                for ident, metric, value, hib in collect_runs(base_doc)}
+
+    failures = []
+    compared = 0
+    for ident, metric, value, higher_is_better in collect_runs(cur_doc):
+        if ident not in baseline:
+            print(f"perf_gate: NEW   {ident}: no baseline entry "
+                  f"({metric}={value:g}) — refresh the committed baseline")
+            continue
+        _, base_value, _ = baseline[ident]
+        compared += 1
+        if base_value <= 0:
+            continue
+        if higher_is_better:
+            change = (value - base_value) / base_value
+            regressed = change < -tol
+        else:
+            change = (base_value - value) / base_value
+            regressed = value > base_value * (1 + tol)
+        status = "FAIL " if regressed else "ok   "
+        print(f"perf_gate: {status}{ident}: {metric} {base_value:g} -> "
+              f"{value:g} ({change:+.1%})")
+        if regressed:
+            failures.append(ident)
+
+    if compared == 0:
+        print("perf_gate: no comparable runs found — baseline and current "
+              "share no run identities", file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print(f"perf_gate: {len(failures)}/{compared} run(s) regressed more "
+              f"than {tol:.0%}: {', '.join(failures)}", file=sys.stderr)
+        sys.exit(1)
+    print(f"perf_gate: all {compared} matched run(s) within {tol:.0%}")
+
+
+if __name__ == "__main__":
+    main()

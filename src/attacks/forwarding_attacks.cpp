@@ -5,7 +5,7 @@
 namespace kalis::attacks {
 
 bool SelectiveForwardPolicy::shouldForward(sim::NodeHandle& node,
-                                           const net::CtpData& data) {
+                                           const net::CtpDataView& data) {
   (void)data;
   if (!node.rng().nextBool(dropProb_)) return true;
   ++drops_;
@@ -17,8 +17,8 @@ bool SelectiveForwardPolicy::shouldForward(sim::NodeHandle& node,
 }
 
 std::optional<Bytes> AlteringForwardPolicy::rewritePayload(
-    sim::NodeHandle& node, const net::CtpData& data) {
-  Bytes tampered = data.payload;
+    sim::NodeHandle& node, const net::CtpDataView& data) {
+  Bytes tampered = toBytes(data.payload);
   if (tampered.empty()) return std::nullopt;
   // Flip the sensor reading: the classic integrity attack.
   tampered[0] ^= 0xff;
@@ -32,7 +32,7 @@ std::optional<Bytes> AlteringForwardPolicy::rewritePayload(
 }
 
 bool WormholeRelayPolicy::shouldRelay(sim::NodeHandle& node,
-                                      const net::ZigbeeNwkFrame& nwk) {
+                                      const net::ZigbeeNwkFrameView& nwk) {
   ++tunneled_;
   if (config_.truth && config_.truth->size() < config_.maxInstances) {
     // Alternate the recorded suspect between the two colluders so the
@@ -49,7 +49,7 @@ bool WormholeRelayPolicy::shouldRelay(sim::NodeHandle& node,
     // under its own link identity after the tunnel latency.
     sim::World& world = *config_.world;
     const NodeId peer = config_.peer;
-    net::ZigbeeNwkFrame copy = nwk;
+    net::ZigbeeNwkFrame copy = net::toOwned(nwk);
     const std::uint8_t seq = linkSeq_++;
     world.sim().schedule(config_.tunnelLatency, [&world, peer, copy, seq] {
       net::Ieee802154Frame frame;

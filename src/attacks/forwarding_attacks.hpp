@@ -26,7 +26,8 @@ class SelectiveForwardPolicy final : public sim::CtpAgent::ForwardPolicy {
         truth_(truth),
         maxInstances_(maxInstances) {}
 
-  bool shouldForward(sim::NodeHandle& node, const net::CtpData& data) override;
+  bool shouldForward(sim::NodeHandle& node,
+                     const net::CtpDataView& data) override;
 
   std::uint64_t drops() const { return drops_; }
 
@@ -46,7 +47,7 @@ class AlteringForwardPolicy final : public sim::CtpAgent::ForwardPolicy {
       : truth_(truth), maxInstances_(maxInstances) {}
 
   std::optional<Bytes> rewritePayload(sim::NodeHandle& node,
-                                      const net::CtpData& data) override;
+                                      const net::CtpDataView& data) override;
 
  private:
   metrics::GroundTruth* truth_;
@@ -71,7 +72,7 @@ class WormholeRelayPolicy final : public sim::ZigbeeAgent::RelayPolicy {
   explicit WormholeRelayPolicy(Config config) : config_(config) {}
 
   bool shouldRelay(sim::NodeHandle& node,
-                   const net::ZigbeeNwkFrame& nwk) override;
+                   const net::ZigbeeNwkFrameView& nwk) override;
 
   std::uint64_t tunneled() const { return tunneled_; }
 

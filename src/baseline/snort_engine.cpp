@@ -13,7 +13,7 @@ std::uint64_t ruleCost(const SnortRule& rule) {
   return 1 + 2 * rule.contents.size();
 }
 
-bool containsBytes(const Bytes& haystack, const Bytes& needle) {
+bool containsBytes(BytesView haystack, const Bytes& needle) {
   if (needle.empty()) return true;
   if (needle.size() > haystack.size()) return false;
   return std::search(haystack.begin(), haystack.end(), needle.begin(),
@@ -30,13 +30,21 @@ std::size_t SnortEngine::loadRules(std::string_view text) {
 }
 
 void SnortEngine::onPacket(const net::CapturedPacket& pkt) {
+  if (pkt.medium != net::Medium::kWifi) {
+    ++packetsUnparsed_;
+    return;
+  }
+  onPacket(pkt, net::dissect(pkt));
+}
+
+void SnortEngine::onPacket(const net::CapturedPacket& pkt,
+                           const net::Dissection& dis) {
   // Snort's capture stack is libpcap on the WiFi interface: 802.15.4 and BLE
   // frames never reach it.
   if (pkt.medium != net::Medium::kWifi) {
     ++packetsUnparsed_;
     return;
   }
-  const net::Dissection dis = net::dissect(pkt);
   if (!dis.ipv4) {
     ++packetsUnparsed_;
     return;

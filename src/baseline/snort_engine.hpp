@@ -28,6 +28,10 @@ class SnortEngine {
   std::size_t ruleCount() const { return rules_.size(); }
   const std::vector<std::string>& parseErrors() const { return parseErrors_; }
 
+  /// The primary overload consumes the shared capture-path Dissection (no
+  /// re-dissection); the convenience overload dissects internally for tests
+  /// and direct feeds.
+  void onPacket(const net::CapturedPacket& pkt, const net::Dissection& dis);
   void onPacket(const net::CapturedPacket& pkt);
 
   const std::vector<ids::Alert>& alerts() const { return alerts_; }

@@ -85,7 +85,8 @@ void KalisNode::attach(sim::World& world, NodeId nodeId,
   for (net::Medium medium : media) {
     world.enableRadio(nodeId, medium);
     world.addSniffer(nodeId, medium,
-                     [this](const net::CapturedPacket& pkt) { feed(pkt); });
+                     [this](const net::CapturedPacket& pkt,
+                            const net::Dissection& dis) { feed(pkt, dis); });
   }
 }
 
@@ -93,9 +94,20 @@ void KalisNode::feed(const net::CapturedPacket& pkt) {
   manager_.onPacket(pkt, pkt.meta.timestamp ? pkt.meta.timestamp : sim_.now());
 }
 
+void KalisNode::feed(const net::CapturedPacket& pkt, const net::Dissection& dis) {
+  manager_.onPacket(pkt, dis,
+                    pkt.meta.timestamp ? pkt.meta.timestamp : sim_.now());
+}
+
 void KalisNode::replayFeed(const net::CapturedPacket& pkt) {
   if (pkt.meta.timestamp > sim_.now()) sim_.runUntil(pkt.meta.timestamp);
   feed(pkt);
+}
+
+void KalisNode::replayFeed(const net::CapturedPacket& pkt,
+                           const net::Dissection& dis) {
+  if (pkt.meta.timestamp > sim_.now()) sim_.runUntil(pkt.meta.timestamp);
+  feed(pkt, dis);
 }
 
 void KalisNode::start() {

@@ -80,14 +80,18 @@ class KalisNode {
   /// physical IDS box position matters: it hears what its radio hears).
   void attach(sim::World& world, NodeId nodeId,
               std::initializer_list<net::Medium> media);
-  /// Direct packet feed (trace replay, tests).
+  /// Direct packet feed (trace replay, tests). The overload without a
+  /// Dissection dissects internally; the one taking a shared Dissection is
+  /// the zero-copy path (dis must alias pkt.raw).
   void feed(const net::CapturedPacket& pkt);
+  void feed(const net::CapturedPacket& pkt, const net::Dissection& dis);
   /// Replay feed: first advances this node's simulator clock to the packet's
   /// capture timestamp — firing pending ticks exactly as live operation
   /// would — then feeds it. This is the per-packet step of the synchronous
   /// replay path and of kalis::pipeline shard engines; only meaningful when
   /// this node (and its peers, if any) are the sole users of the simulator.
   void replayFeed(const net::CapturedPacket& pkt);
+  void replayFeed(const net::CapturedPacket& pkt, const net::Dissection& dis);
 
   /// Starts the module manager and the periodic tick. Call once.
   void start();

@@ -13,9 +13,7 @@
 // Typed access goes through the single templated put<T>() / local<T>() pair:
 // any argument type is normalized onto one of the four canonical value kinds
 // (bool, long long, double, std::string) and encoded/decoded by the
-// explicitly specialized KnowggetCodec. The historical putBool/putInt/
-// putDouble and localBool/localInt/localDouble names survive as deprecated
-// inline delegates.
+// explicitly specialized KnowggetCodec.
 //
 // Collective knowledge: a knowgget marked collective is pushed, on change, to
 // the CollectiveSink seam. Two kinds of sink exist: the in-simulator one-way
@@ -162,22 +160,6 @@ class KnowledgeBase {
                collective);
   }
 
-  [[deprecated("use put(label, bool)")]]
-  void putBool(const std::string& label, bool v, const std::string& entity = "",
-               bool collective = false) {
-    put(label, v, entity, collective);
-  }
-  [[deprecated("use put(label, long long)")]]
-  void putInt(const std::string& label, long long v,
-              const std::string& entity = "", bool collective = false) {
-    put(label, v, entity, collective);
-  }
-  [[deprecated("use put(label, double)")]]
-  void putDouble(const std::string& label, double v,
-                 const std::string& entity = "", bool collective = false) {
-    put(label, v, entity, collective);
-  }
-
   /// Accepts a knowgget synchronized from a peer. Enforces the one-way rule:
   /// the update is rejected (returns false) if `k.creator` equals the local
   /// id, or if an existing entry under the same key has a different creator.
@@ -202,22 +184,6 @@ class KnowledgeBase {
     std::optional<std::string> v = raw(encodeKey(selfId_, label, entity));
     if (!v) return std::nullopt;
     return KnowggetCodec<T>::decode(*std::move(v));
-  }
-
-  [[deprecated("use local<bool>()")]]
-  std::optional<bool> localBool(const std::string& label,
-                                const std::string& entity = "") const {
-    return local<bool>(label, entity);
-  }
-  [[deprecated("use local<long long>()")]]
-  std::optional<long long> localInt(const std::string& label,
-                                    const std::string& entity = "") const {
-    return local<long long>(label, entity);
-  }
-  [[deprecated("use local<double>()")]]
-  std::optional<double> localDouble(const std::string& label,
-                                    const std::string& entity = "") const {
-    return local<double>(label, entity);
   }
 
   /// All knowggets with this exact label, from any creator/entity.

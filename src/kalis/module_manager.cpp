@@ -78,6 +78,11 @@ void ModuleManager::evaluate(Entry& entry, SimTime now) {
 }
 
 void ModuleManager::onPacket(const net::CapturedPacket& pkt, SimTime now) {
+  onPacket(pkt, net::dissect(pkt), now);
+}
+
+void ModuleManager::onPacket(const net::CapturedPacket& pkt,
+                             const net::Dissection& dis, SimTime now) {
   lastEventTime_ = now;
   dataStore_.onPacket(pkt);
   ++packetsProcessed_;
@@ -85,7 +90,6 @@ void ModuleManager::onPacket(const net::CapturedPacket& pkt, SimTime now) {
   // module per packet would dominate the cheap modules otherwise.
   const bool sampleLatency =
       obs::kEnabled && (packetsProcessed_ % kLatencySampleEvery) == 0;
-  const net::Dissection dis = net::dissect(pkt);
   if (dis.type == net::PacketType::kMalformed) ++malformedPackets_;
   ModuleContext ctx = makeContext(now);
   // Iterate by index: modules may trigger KB changes that activate/deactivate

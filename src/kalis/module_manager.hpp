@@ -41,8 +41,13 @@ class ModuleManager {
   void start(SimTime now);
   bool started() const { return started_; }
 
-  /// Routes a captured packet to every active module (dissecting once) and
-  /// charges the CPU-proxy work units.
+  /// Routes a captured packet to every active module and charges the
+  /// CPU-proxy work units. The primary overload consumes a Dissection
+  /// produced upstream (capture path, pipeline batch path) so each frame is
+  /// dissected exactly once end-to-end; the convenience overload dissects
+  /// internally for direct feeds and tests.
+  void onPacket(const net::CapturedPacket& pkt, const net::Dissection& dis,
+                SimTime now);
   void onPacket(const net::CapturedPacket& pkt, SimTime now);
 
   /// Periodic tick forwarded to active modules.

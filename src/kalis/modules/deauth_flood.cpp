@@ -14,26 +14,26 @@ void DeauthFloodModule::onPacket(const net::CapturedPacket& pkt,
                                  ModuleContext& ctx) {
   (void)ctx;
   if (dis.type != net::PacketType::kWifiDeauth) return;
-  const std::string victim = dis.linkDest();
-  auto [it, inserted] = deauths_.try_emplace(victim, window_);
-  it->second.record(pkt.meta.timestamp);
-  lastLinkSender_[victim] = dis.linkSource();
+  const net::EntityRef victim = dis.linkDestRef();
+  auto [entry, inserted] = deauths_.tryEmplace(victim, window_);
+  entry->value.record(pkt.meta.timestamp);
+  lastLinkSender_[victim] = dis.linkSourceRef();
 }
 
 void DeauthFloodModule::onTick(ModuleContext& ctx) {
-  for (auto& [victim, counter] : deauths_) {
-    const double rate = counter.rate(ctx.now);
-    if (rate < rateThresh_) continue;
-    if (!shouldAlert(victim, ctx.now, cooldown_)) continue;
+  deauths_.forEachOrdered([&](EntityKeyedMap<SlidingCounter>::Entry& entry) {
+    const double rate = entry.value.rate(ctx.now);
+    if (rate < rateThresh_) return;
+    if (!shouldAlert(entry.label, ctx.now, cooldown_)) return;
     Alert alert;
     alert.type = AttackType::kDeauthFlood;
     alert.time = ctx.now;
     alert.moduleName = name();
-    alert.victimEntity = victim;
-    alert.suspectEntities.push_back(lastLinkSender_[victim]);
+    alert.victimEntity = entry.label;
+    alert.suspectEntities.push_back(lastLinkSender_[entry.key].toString());
     alert.detail = "deauth rate " + formatDouble(rate) + "/s";
     ctx.raiseAlert(std::move(alert));
-  }
+  });
 }
 
 }  // namespace kalis::ids

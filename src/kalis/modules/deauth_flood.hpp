@@ -5,7 +5,9 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 
+#include "kalis/entity_map.hpp"
 #include "kalis/module.hpp"
 #include "util/sliding_window.hpp"
 
@@ -30,7 +32,12 @@ class DeauthFloodModule final : public DetectionModule {
 
   std::size_t memoryBytes() const override {
     std::size_t bytes = sizeof(*this) + alertStateBytes();
-    for (const auto& [k, c] : deauths_) bytes += k.size() + c.memoryBytes() + 32;
+    bytes += deauths_.entryOverheadBytes();
+    deauths_.forEachUnordered(
+        [&](const EntityKeyedMap<SlidingCounter>::Entry& e) {
+          bytes += e.value.memoryBytes() + 32;
+        });
+    bytes += lastLinkSender_.size() * sizeof(net::EntityRef) * 2;
     return bytes;
   }
 
@@ -38,8 +45,9 @@ class DeauthFloodModule final : public DetectionModule {
   double rateThresh_ = 2.0;  ///< deauths/s per victim (legit: ~never)
   Duration window_ = seconds(5);
   Duration cooldown_ = seconds(15);
-  std::map<std::string, SlidingCounter> deauths_;       ///< by victim
-  std::map<std::string, std::string> lastLinkSender_;   ///< victim -> sender
+  EntityKeyedMap<SlidingCounter> deauths_;  ///< by victim
+  std::unordered_map<net::EntityRef, net::EntityRef>
+      lastLinkSender_;  ///< victim -> sender
 };
 
 }  // namespace kalis::ids

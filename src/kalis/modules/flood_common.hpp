@@ -1,5 +1,10 @@
 // Shared per-victim event bookkeeping for flood-style detection modules
 // (ICMP flood, Smurf, SYN flood, hello flood, deauth flood).
+//
+// Events carry net::EntityRef identities (fixed-size, trivially copyable)
+// instead of strings, so recording a packet on the hot path performs no
+// allocation beyond the deque slot. String forms are materialized only at
+// alert time.
 #pragma once
 
 #include <deque>
@@ -7,6 +12,7 @@
 #include <set>
 #include <string>
 
+#include "kalis/entity_map.hpp"
 #include "net/packet.hpp"
 #include "util/types.hpp"
 
@@ -17,8 +23,8 @@ class VictimEventLog {
  public:
   struct Event {
     SimTime time = 0;
-    std::string claimedSrc;  ///< network-layer source as claimed in the packet
-    std::string linkSrc;     ///< who physically transmitted it
+    net::EntityRef claimedSrc;  ///< network-layer source claimed in the packet
+    net::EntityRef linkSrc;     ///< who physically transmitted it
     double rssiDbm = 0.0;
     net::Medium medium = net::Medium::kWifi;
   };
@@ -26,8 +32,8 @@ class VictimEventLog {
   explicit VictimEventLog(Duration window) : window_(window) {}
 
   void record(Event ev) {
-    events_.push_back(std::move(ev));
-    evict(events_.back().time);
+    events_.push_back(ev);
+    evict(ev.time);
   }
 
   void evict(SimTime now) {
@@ -49,25 +55,18 @@ class VictimEventLog {
 
   std::size_t distinctClaimedSources(SimTime now) {
     evict(now);
-    std::set<std::string> srcs;
+    std::set<net::EntityRef> srcs;
     for (const Event& ev : events_) srcs.insert(ev.claimedSrc);
     return srcs.size();
   }
 
-  /// Most frequent physical (link-layer) transmitter in the window.
-  std::string dominantLinkSource(SimTime now) {
+  /// Most frequent physical (link-layer) transmitter in the window; ties
+  /// break toward the smallest string form (legacy string-map order).
+  net::EntityRef dominantLinkSource(SimTime now) {
     evict(now);
-    std::map<std::string, std::size_t> counts;
+    std::map<net::EntityRef, std::size_t> counts;
     for (const Event& ev : events_) ++counts[ev.linkSrc];
-    std::string best;
-    std::size_t bestCount = 0;
-    for (const auto& [src, n] : counts) {
-      if (n > bestCount) {
-        best = src;
-        bestCount = n;
-      }
-    }
-    return best;
+    return dominantEntity(counts);
   }
 
   /// RSSI spread (max - min) of the windowed events — near zero when a
@@ -99,13 +98,7 @@ class VictimEventLog {
 
   const std::deque<Event>& events() const { return events_; }
 
-  std::size_t memoryBytes() const {
-    std::size_t bytes = 0;
-    for (const Event& ev : events_) {
-      bytes += sizeof(Event) + ev.claimedSrc.size() + ev.linkSrc.size();
-    }
-    return bytes;
-  }
+  std::size_t memoryBytes() const { return events_.size() * sizeof(Event); }
 
  private:
   Duration window_;

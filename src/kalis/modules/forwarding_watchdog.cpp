@@ -32,7 +32,7 @@ void ForwardingWatchdog::observe(const net::CapturedPacket& pkt,
                                  const std::string& ctpRoot) {
   const SimTime now = pkt.meta.timestamp;
   if (dis.ctpData && dis.wpan) {
-    const net::CtpData& data = *dis.ctpData;
+    const net::CtpDataView& data = *dis.ctpData;
     const std::string key = ctpKey(data.origin.value, data.seqno);
     const std::string sender = dis.linkSource();
     const std::string receiver = dis.linkDest();
@@ -57,7 +57,7 @@ void ForwardingWatchdog::observe(const net::CapturedPacket& pkt,
   }
 
   if (dis.zigbee && dis.wpan) {
-    const net::ZigbeeNwkFrame& nwk = *dis.zigbee;
+    const net::ZigbeeNwkFrameView& nwk = *dis.zigbee;
     const std::string key = zigbeeKey(nwk.src.value, nwk.seq);
     const std::string sender = dis.linkSource();
     const std::string receiver = dis.linkDest();

@@ -17,23 +17,24 @@ void HelloFloodModule::onPacket(const net::CapturedPacket& pkt,
                                dis.type == net::PacketType::kRplDio ||
                                dis.type == net::PacketType::kZigbeeRouting;
   if (!isRoutingBeacon) return;
-  auto [it, inserted] = beacons_.try_emplace(dis.linkSource(), window_);
-  it->second.record(pkt.meta.timestamp);
+  auto [entry, inserted] = beacons_.tryEmplace(dis.linkSourceRef(), window_);
+  entry->value.record(pkt.meta.timestamp);
 }
 
 void HelloFloodModule::onTick(ModuleContext& ctx) {
-  for (auto& [entity, counter] : beacons_) {
-    const double rate = counter.rate(ctx.now);
-    if (rate < rateThresh_) continue;
-    if (!shouldAlert(entity, ctx.now, cooldown_)) continue;
-    Alert alert;
-    alert.type = AttackType::kHelloFlood;
-    alert.time = ctx.now;
-    alert.moduleName = name();
-    alert.suspectEntities.push_back(entity);
-    alert.detail = "routing-beacon rate " + formatDouble(rate) + "/s";
-    ctx.raiseAlert(std::move(alert));
-  }
+  beacons_.forEachOrdered(
+      [&](EntityKeyedMap<SlidingCounter>::Entry& entry) {
+        const double rate = entry.value.rate(ctx.now);
+        if (rate < rateThresh_) return;
+        if (!shouldAlert(entry.label, ctx.now, cooldown_)) return;
+        Alert alert;
+        alert.type = AttackType::kHelloFlood;
+        alert.time = ctx.now;
+        alert.moduleName = name();
+        alert.suspectEntities.push_back(entry.label);
+        alert.detail = "routing-beacon rate " + formatDouble(rate) + "/s";
+        ctx.raiseAlert(std::move(alert));
+      });
 }
 
 }  // namespace kalis::ids

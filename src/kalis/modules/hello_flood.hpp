@@ -7,6 +7,7 @@
 #include <map>
 #include <string>
 
+#include "kalis/entity_map.hpp"
 #include "kalis/module.hpp"
 #include "util/sliding_window.hpp"
 
@@ -33,7 +34,11 @@ class HelloFloodModule final : public DetectionModule {
 
   std::size_t memoryBytes() const override {
     std::size_t bytes = sizeof(*this) + alertStateBytes();
-    for (const auto& [k, c] : beacons_) bytes += k.size() + c.memoryBytes() + 32;
+    bytes += beacons_.entryOverheadBytes();
+    beacons_.forEachUnordered(
+        [&](const EntityKeyedMap<SlidingCounter>::Entry& e) {
+          bytes += e.value.memoryBytes() + 32;
+        });
     return bytes;
   }
 
@@ -41,7 +46,7 @@ class HelloFloodModule final : public DetectionModule {
   double rateThresh_ = 5.0;  ///< beacons/s per entity (natural cadence ~0.5)
   Duration window_ = seconds(5);
   Duration cooldown_ = seconds(15);
-  std::map<std::string, SlidingCounter> beacons_;  ///< by entity
+  EntityKeyedMap<SlidingCounter> beacons_;  ///< by entity
 };
 
 }  // namespace kalis::ids

@@ -33,36 +33,37 @@ void IcmpFloodModule::onPacket(const net::CapturedPacket& pkt,
                          dis.type == net::PacketType::kIcmpv6EchoReq;
   if (!isReply && !isRequest) return;
 
-  const auto netSrc = dis.networkSource();
-  const auto netDst = dis.networkDest();
-  if (!netSrc || !netDst) return;
-  const std::string linkSrc = dis.linkSource();
+  const net::EntityRef netSrc = dis.networkSourceRef();
+  const net::EntityRef netDst = dis.networkDestRef();
+  if (!netSrc.valid() || !netDst.valid()) return;
+  const net::EntityRef linkSrc = dis.linkSourceRef();
 
   // Learn the usual physical identity behind each network source; a later
   // mismatch is spoofing evidence.
-  auto [it, inserted] = identityBinding_.try_emplace(*netSrc, linkSrc);
+  auto [it, inserted] = identityBinding_.try_emplace(netSrc, linkSrc);
   const bool spoofed = !inserted && it->second != linkSrc;
 
   if (isRequest && spoofed) {
     // A request claiming to come from an already-known host but transmitted
     // by a different radio: the Smurf trigger (victim = claimed source).
-    spoofedRequests_[*netSrc] = pkt.meta.timestamp;
+    spoofedRequests_[netSrc] = pkt.meta.timestamp;
     return;
   }
 
   if (isReply) {
-    auto [log, created] = replyLog_.try_emplace(*netDst, window_);
-    log->second.record(VictimEventLog::Event{pkt.meta.timestamp, *netSrc,
-                                             linkSrc, pkt.meta.rssiDbm,
-                                             pkt.medium});
+    auto [log, created] = replyLog_.tryEmplace(netDst, window_);
+    log->value.record(VictimEventLog::Event{pkt.meta.timestamp, netSrc,
+                                            linkSrc, pkt.meta.rssiDbm,
+                                            pkt.medium});
   }
 }
 
 void IcmpFloodModule::onTick(ModuleContext& ctx) {
   const bool trustKnowledge = ctx.kb.writesEnabled();
-  for (auto& [victim, log] : replyLog_) {
-    if (log.rate(ctx.now) < detectionThresh_) continue;
-    if (log.distinctClaimedSources(ctx.now) < minSources_) continue;
+  replyLog_.forEachOrdered([&](EntityKeyedMap<VictimEventLog>::Entry& entry) {
+    VictimEventLog& log = entry.value;
+    if (log.rate(ctx.now) < detectionThresh_) return;
+    if (log.distinctClaimedSources(ctx.now) < minSources_) return;
 
     // Symptom present. Consult the Knowledge Base for the topology of the
     // medium the flood rides on.
@@ -73,41 +74,45 @@ void IcmpFloodModule::onTick(ModuleContext& ctx) {
     const auto multihop = ctx.kb.local<bool>(label);
 
     if (trustKnowledge) {
-      if (!multihop.has_value()) continue;  // still learning: don't guess
+      if (!multihop.has_value()) return;  // still learning: don't guess
       if (*multihop) {
         // Multi-hop: Smurf is possible. If we saw the Smurf trigger
         // (spoofed requests in the victim's name), leave it to SmurfModule.
-        auto spoofIt = spoofedRequests_.find(victim);
+        auto spoofIt = spoofedRequests_.find(entry.key);
         if (spoofIt != spoofedRequests_.end() &&
             ctx.now <= spoofIt->second + window_) {
-          continue;
+          return;
         }
       }
     }
 
-    if (!shouldAlert(victim, ctx.now, cooldown_)) continue;
+    if (!shouldAlert(entry.label, ctx.now, cooldown_)) return;
     Alert alert;
     alert.type = AttackType::kIcmpFlood;
     alert.time = ctx.now;
     alert.moduleName = name();
-    alert.victimEntity = victim;
+    alert.victimEntity = entry.label;
     alert.confidence = log.rssiSpread(ctx.now) < 3.0 ? 1.0 : 0.7;
     // One-hop suspect: the radio actually transmitting the replies.
-    alert.suspectEntities.push_back(log.dominantLinkSource(ctx.now));
+    alert.suspectEntities.push_back(log.dominantLinkSource(ctx.now).toString());
     alert.detail = "echo-reply rate " + formatDouble(log.rate(ctx.now)) +
                    "/s from " +
                    std::to_string(log.distinctClaimedSources(ctx.now)) +
                    " claimed sources";
     ctx.raiseAlert(std::move(alert));
-  }
+  });
 }
 
 std::size_t IcmpFloodModule::memoryBytes() const {
   std::size_t bytes = sizeof(*this) + alertStateBytes();
-  for (const auto& [victim, log] : replyLog_) {
-    bytes += victim.size() + log.memoryBytes();
-  }
-  for (const auto& [k, v] : identityBinding_) bytes += k.size() + v.size();
+  bytes += replyLog_.entryOverheadBytes();
+  replyLog_.forEachUnordered(
+      [&](const EntityKeyedMap<VictimEventLog>::Entry& e) {
+        bytes += e.value.memoryBytes();
+      });
+  bytes += identityBinding_.size() * sizeof(net::EntityRef) * 2;
+  bytes += spoofedRequests_.size() *
+           (sizeof(net::EntityRef) + sizeof(SimTime));
   return bytes;
 }
 

@@ -21,6 +21,7 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 
 #include "kalis/module.hpp"
 #include "kalis/modules/flood_common.hpp"
@@ -52,9 +53,10 @@ class IcmpFloodModule final : public DetectionModule {
   Duration window_ = seconds(5);
   Duration cooldown_ = seconds(10);
 
-  std::map<std::string, VictimEventLog> replyLog_;   ///< by victim
-  std::map<std::string, SimTime> spoofedRequests_;   ///< victim -> last seen
-  std::map<std::string, std::string> identityBinding_;  ///< net src -> link src
+  EntityKeyedMap<VictimEventLog> replyLog_;  ///< by victim
+  std::unordered_map<net::EntityRef, SimTime> spoofedRequests_;  ///< victim
+  std::unordered_map<net::EntityRef, net::EntityRef>
+      identityBinding_;  ///< net src -> link src
 };
 
 }  // namespace kalis::ids

@@ -21,6 +21,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 
 #include "kalis/module.hpp"
 #include "kalis/modules/flood_common.hpp"
@@ -52,20 +53,23 @@ class SmurfModule final : public DetectionModule {
   std::size_t memoryBytes() const override;
 
  private:
+  std::vector<std::string> twoHopSuspects(const net::EntityRef& victim,
+                                          const std::string& victimLabel) const;
+
   double detectionThresh_ = 10.0;
   std::size_t minSources_ = 3;
   Duration window_ = seconds(5);
   Duration cooldown_ = seconds(10);
 
-  std::map<std::string, VictimEventLog> replyLog_;  ///< by victim (net addr)
+  EntityKeyedMap<VictimEventLog> replyLog_;  ///< by victim (net addr)
   struct SpoofEvidence {
     SimTime lastSeen = 0;
-    std::set<std::string> spoofers;  ///< link srcs sending in victim's name
+    std::set<net::EntityRef> spoofers;  ///< link srcs in victim's name
   };
-  std::map<std::string, SpoofEvidence> spoofed_;      ///< by victim
-  std::map<std::string, std::string> identityBinding_;
+  std::unordered_map<net::EntityRef, SpoofEvidence> spoofed_;  ///< by victim
+  std::unordered_map<net::EntityRef, net::EntityRef> identityBinding_;
   // Observed adjacency over network addresses (for the fallback suspects).
-  std::map<std::string, std::set<std::string>> adjacency_;
+  std::map<net::EntityRef, std::set<net::EntityRef>> adjacency_;
 };
 
 }  // namespace kalis::ids

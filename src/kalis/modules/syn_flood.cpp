@@ -30,14 +30,15 @@ void SynFloodModule::onPacket(const net::CapturedPacket& pkt,
                               const net::Dissection& dis, ModuleContext& ctx) {
   (void)ctx;
   if (!dis.tcp) return;
-  const auto netSrc = dis.networkSource();
-  const auto netDst = dis.networkDest();
-  if (!netSrc || !netDst) return;
+  const net::EntityRef netSrc = dis.networkSourceRef();
+  const net::EntityRef netDst = dis.networkDestRef();
+  if (!netSrc.valid() || !netDst.valid()) return;
 
   if (dis.type == net::PacketType::kTcpSyn) {
-    VictimState& state = victims_[*netDst];
-    state.syns.push_back(SynRecord{pkt.meta.timestamp, *netSrc,
-                                   dis.linkSource(), dis.tcp->seq, false});
+    auto [entry, created] = victims_.tryEmplace(netDst);
+    VictimState& state = entry->value;
+    state.syns.push_back(SynRecord{pkt.meta.timestamp, netSrc,
+                                   dis.linkSourceRef(), dis.tcp->seq, false});
     evict(state, pkt.meta.timestamp);
     return;
   }
@@ -46,10 +47,10 @@ void SynFloodModule::onPacket(const net::CapturedPacket& pkt,
   // unknowable passively without tracking the SYN-ACK, so match on the
   // initiator's (src, seq): the final ACK carries seq == isn+1.
   if (dis.type == net::PacketType::kTcpAck) {
-    auto it = victims_.find(*netDst);
-    if (it == victims_.end()) return;
-    for (SynRecord& rec : it->second.syns) {
-      if (!rec.completed && rec.claimedSrc == *netSrc &&
+    auto* entry = victims_.find(netDst);
+    if (!entry) return;
+    for (SynRecord& rec : entry->value.syns) {
+      if (!rec.completed && rec.claimedSrc == netSrc &&
           dis.tcp->seq == rec.isn + 1) {
         rec.completed = true;
         break;
@@ -59,11 +60,12 @@ void SynFloodModule::onPacket(const net::CapturedPacket& pkt,
 }
 
 void SynFloodModule::onTick(ModuleContext& ctx) {
-  for (auto& [victim, state] : victims_) {
+  victims_.forEachOrdered([&](EntityKeyedMap<VictimState>::Entry& entry) {
+    VictimState& state = entry.value;
     evict(state, ctx.now);
-    if (state.syns.empty()) continue;
+    if (state.syns.empty()) return;
     std::size_t halfOpen = 0;
-    std::set<std::string> sources;
+    std::set<net::EntityRef> sources;
     // Grace period: a SYN younger than 1 s may simply not be answered yet.
     std::size_t mature = 0;
     for (const SynRecord& rec : state.syns) {
@@ -75,17 +77,19 @@ void SynFloodModule::onTick(ModuleContext& ctx) {
         sources.insert(rec.claimedSrc);
       }
     }
-    if (mature == 0) continue;
-    const double halfOpenRate = static_cast<double>(halfOpen) / toSeconds(window_);
-    const double ratio = static_cast<double>(halfOpen) / static_cast<double>(mature);
+    if (mature == 0) return;
+    const double halfOpenRate =
+        static_cast<double>(halfOpen) / toSeconds(window_);
+    const double ratio =
+        static_cast<double>(halfOpen) / static_cast<double>(mature);
     if (halfOpenRate < rateThresh_ || sources.size() < minSources_ ||
         ratio < halfOpenRatio_) {
-      continue;
+      return;
     }
-    if (!shouldAlert(victim, ctx.now, cooldown_)) continue;
+    if (!shouldAlert(entry.label, ctx.now, cooldown_)) return;
 
     // Physical suspects: link transmitters of the half-open SYNs.
-    std::map<std::string, std::size_t> linkCounts;
+    std::map<net::EntityRef, std::size_t> linkCounts;
     for (const SynRecord& rec : state.syns) {
       if (!rec.completed) ++linkCounts[rec.linkSrc];
     }
@@ -93,31 +97,21 @@ void SynFloodModule::onTick(ModuleContext& ctx) {
     alert.type = AttackType::kSynFlood;
     alert.time = ctx.now;
     alert.moduleName = name();
-    alert.victimEntity = victim;
-    std::string best;
-    std::size_t bestCount = 0;
-    for (const auto& [src, n] : linkCounts) {
-      if (n > bestCount) {
-        best = src;
-        bestCount = n;
-      }
-    }
-    alert.suspectEntities.push_back(best);
+    alert.victimEntity = entry.label;
+    alert.suspectEntities.push_back(dominantEntity(linkCounts).toString());
     alert.detail = "half-open SYN rate " + formatDouble(halfOpenRate) +
                    "/s, ratio " + formatDouble(ratio) + ", " +
                    std::to_string(sources.size()) + " sources";
     ctx.raiseAlert(std::move(alert));
-  }
+  });
 }
 
 std::size_t SynFloodModule::memoryBytes() const {
   std::size_t bytes = sizeof(*this) + alertStateBytes();
-  for (const auto& [victim, state] : victims_) {
-    bytes += victim.size();
-    for (const auto& rec : state.syns) {
-      bytes += sizeof(rec) + rec.claimedSrc.size() + rec.linkSrc.size();
-    }
-  }
+  bytes += victims_.entryOverheadBytes();
+  victims_.forEachUnordered([&](const EntityKeyedMap<VictimState>::Entry& e) {
+    bytes += e.value.syns.size() * sizeof(SynRecord);
+  });
   return bytes;
 }
 

@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 
+#include "kalis/entity_map.hpp"
 #include "kalis/module.hpp"
 
 namespace kalis::ids {
@@ -38,8 +39,8 @@ class SynFloodModule final : public DetectionModule {
  private:
   struct SynRecord {
     SimTime time;
-    std::string claimedSrc;
-    std::string linkSrc;
+    net::EntityRef claimedSrc;
+    net::EntityRef linkSrc;
     std::uint32_t isn;       ///< initial sequence number of the SYN
     bool completed = false;  ///< a matching handshake ACK was seen
   };
@@ -55,7 +56,7 @@ class SynFloodModule final : public DetectionModule {
   Duration window_ = seconds(5);
   Duration cooldown_ = seconds(10);
 
-  std::map<std::string, VictimState> victims_;  ///< by victim net addr
+  EntityKeyedMap<VictimState> victims_;  ///< by victim net addr
 };
 
 }  // namespace kalis::ids

@@ -16,7 +16,7 @@ void TrafficStatsModule::configure(
       for (auto& counter : global_) {
         counter = std::make_unique<SlidingCounter>(window_);
       }
-      perDevice_.clear();
+      for (auto& m : perDevice_) m.clear();
     }
   }
 }
@@ -69,12 +69,11 @@ void TrafficStatsModule::onPacket(const net::CapturedPacket& pkt,
   global_[typeIdx]->record(ctx.now);
 
   // Per-device accounting against the traffic's *target* — the entity a
-  // DoS-style attack would be aimed at.
-  std::string target = dis.networkDest().value_or(dis.linkDest());
-  auto [it, inserted] = perDevice_.try_emplace(
-      std::make_pair(static_cast<int>(dis.type), std::move(target)),
-      window_);
-  it->second.record(ctx.now);
+  // DoS-style attack would be aimed at. Allocation-free on the hit path.
+  net::EntityRef target = dis.networkDestRef();
+  if (!target.valid()) target = dis.linkDestRef();
+  auto [entry, inserted] = perDevice_[typeIdx].tryEmplace(target, window_);
+  entry->value.record(ctx.now);
 
   if (const char* proto = protocolOf(dis)) {
     if (!protocolsSeen_[proto]) {
@@ -90,18 +89,20 @@ void TrafficStatsModule::onTick(ModuleContext& ctx) {
     const double rate = global_[i]->rate(ctx.now);
     if (rate > 0.0) {
       ctx.kb.put(std::string(labels::kTrafficFrequency) + "." +
-                           net::packetTypeName(static_cast<net::PacketType>(i)),
-                       rate);
+                     net::packetTypeName(static_cast<net::PacketType>(i)),
+                 rate);
     }
   }
-  for (auto& [key, counter] : perDevice_) {
-    const double rate = counter.rate(ctx.now);
-    if (rate > 0.0) {
-      ctx.kb.put(
-          std::string(labels::kTrafficFrequency) + "." +
-              net::packetTypeName(static_cast<net::PacketType>(key.first)),
-          rate, key.second);
-    }
+  for (std::size_t i = 0; i < perDevice_.size(); ++i) {
+    perDevice_[i].forEachOrdered(
+        [&](EntityKeyedMap<SlidingCounter>::Entry& entry) {
+          const double rate = entry.value.rate(ctx.now);
+          if (rate > 0.0) {
+            ctx.kb.put(std::string(labels::kTrafficFrequency) + "." +
+                           net::packetTypeName(static_cast<net::PacketType>(i)),
+                       rate, entry.label);
+          }
+        });
   }
 }
 
@@ -111,16 +112,20 @@ double TrafficStatsModule::globalRate(net::PacketType type, SimTime now) {
 
 double TrafficStatsModule::deviceRate(net::PacketType type,
                                       const std::string& entity, SimTime now) {
-  auto it = perDevice_.find(std::make_pair(static_cast<int>(type), entity));
-  if (it == perDevice_.end()) return 0.0;
-  return it->second.rate(now);
+  auto* entry = const_cast<EntityKeyedMap<SlidingCounter>::Entry*>(
+      perDevice_[static_cast<std::size_t>(type)].findByLabel(entity));
+  if (!entry) return 0.0;
+  return entry->value.rate(now);
 }
 
 std::size_t TrafficStatsModule::memoryBytes() const {
   std::size_t bytes = sizeof(*this);
   for (const auto& counter : global_) bytes += counter->memoryBytes();
-  for (const auto& [key, counter] : perDevice_) {
-    bytes += key.second.size() + counter.memoryBytes() + 32;
+  for (const auto& m : perDevice_) {
+    bytes += m.entryOverheadBytes();
+    m.forEachUnordered([&](const EntityKeyedMap<SlidingCounter>::Entry& e) {
+      bytes += e.value.memoryBytes() + 32;
+    });
   }
   return bytes;
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "kalis/entity_map.hpp"
 #include "kalis/module.hpp"
 #include "util/sliding_window.hpp"
 
@@ -45,8 +46,10 @@ class TrafficStatsModule final : public SensingModule {
 
   Duration window_ = seconds(5);
   std::array<std::unique_ptr<SlidingCounter>, net::kNumPacketTypes> global_;
-  // Per-device counters, keyed by (type, entity). Created on demand.
-  std::map<std::pair<int, std::string>, SlidingCounter> perDevice_;
+  // Per-device counters: one entity-keyed map per traffic type, created on
+  // demand. Iterating type-major then label-ascending reproduces the old
+  // std::map<std::pair<int, std::string>, ...> publication order exactly.
+  std::array<EntityKeyedMap<SlidingCounter>, net::kNumPacketTypes> perDevice_;
   std::map<std::string, bool> protocolsSeen_;
   SimTime lastNow_ = 0;
 };

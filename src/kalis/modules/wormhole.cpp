@@ -37,7 +37,7 @@ void WormholeModule::onPacket(const net::CapturedPacket& pkt,
                               const net::Dissection& dis, ModuleContext& ctx) {
   (void)ctx;
   if (!dis.zigbee || !dis.wpan) return;
-  const net::ZigbeeNwkFrame& nwk = *dis.zigbee;
+  const net::ZigbeeNwkFrameView& nwk = *dis.zigbee;
   const std::string sender = dis.linkSource();
   const std::string receiver = dis.linkDest();
   const std::string nwkSrc = net::toString(nwk.src);

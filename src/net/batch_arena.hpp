@@ -1,0 +1,146 @@
+// Monotonic bump allocator with batch-scoped lifetime.
+//
+// The pipeline's shard engines process packets in batches pulled from the
+// ingestion ring. All transient per-batch storage (dissections, stable
+// copies of sub-frame slices, scratch buffers) comes out of one BatchArena
+// that is reset — not freed — between batches, so the steady state performs
+// zero heap allocations on the packet path. Chunks are retained across
+// resets and reused; the arena only grows when a batch outsizes every
+// previous one.
+//
+// Lifetime contract: anything allocated from the arena dies at the next
+// reset(). Objects placed in the arena must be trivially destructible —
+// reset() does not run destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace kalis::net {
+
+class BatchArena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit BatchArena(std::size_t chunkBytes = kDefaultChunkBytes)
+      : chunkBytes_(chunkBytes) {}
+
+  BatchArena(const BatchArena&) = delete;
+  BatchArena& operator=(const BatchArena&) = delete;
+
+  /// Raw aligned allocation; never fails except by throwing bad_alloc.
+  void* allocate(std::size_t size, std::size_t align) {
+    if (size == 0) return chunks_.empty() ? ensureChunk(1) : cursor_;
+    std::uint8_t* p = alignUp(cursor_, align);
+    if (chunks_.empty() || p + size > chunkEnd_) {
+      p = alignUp(ensureChunk(size + align), align);
+    }
+    cursor_ = p + size;
+    bytesUsed_ += size;
+    if (bytesUsed_ > highWater_) highWater_ = bytesUsed_;
+    return p;
+  }
+
+  /// Default-constructs a T in the arena. T must be trivially destructible.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "BatchArena::reset does not run destructors");
+    return ::new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Uninitialized array of n Ts.
+  template <typename T>
+  T* allocateArray(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "BatchArena::reset does not run destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Copies bytes into the arena and returns a view that stays valid until
+  /// the next reset() — the way to detach a slice from its capture buffer.
+  BytesView copy(BytesView src) {
+    if (src.empty()) return BytesView{};
+    auto* dst = static_cast<std::uint8_t*>(allocate(src.size(), 1));
+    std::copy(src.begin(), src.end(), dst);
+    return BytesView(dst, src.size());
+  }
+
+  /// Rewinds to empty, keeping every chunk for reuse. O(1) amortized.
+  void reset() {
+    ++resets_;
+    bytesUsed_ = 0;
+    current_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = chunks_[0].data.get();
+      chunkEnd_ = cursor_ + chunks_[0].size;
+    }
+  }
+
+  struct Stats {
+    std::size_t bytesUsed = 0;      ///< live bytes since the last reset
+    std::size_t highWater = 0;      ///< max bytesUsed ever observed
+    std::size_t chunkCount = 0;
+    std::size_t reservedBytes = 0;  ///< total capacity held across resets
+    std::uint64_t resets = 0;
+  };
+  Stats stats() const {
+    Stats s;
+    s.bytesUsed = bytesUsed_;
+    s.highWater = highWater_;
+    s.chunkCount = chunks_.size();
+    for (const auto& c : chunks_) s.reservedBytes += c.size;
+    s.resets = resets_;
+    return s;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+  };
+
+  static std::uint8_t* alignUp(std::uint8_t* p, std::size_t align) {
+    const auto v = reinterpret_cast<std::uintptr_t>(p);
+    return reinterpret_cast<std::uint8_t*>((v + align - 1) & ~(align - 1));
+  }
+
+  /// Moves to the next chunk that can hold `need` bytes, appending one if
+  /// necessary, and returns its base.
+  std::uint8_t* ensureChunk(std::size_t need) {
+    while (current_ + 1 < chunks_.size()) {
+      ++current_;
+      if (chunks_[current_].size >= need) {
+        cursor_ = chunks_[current_].data.get();
+        chunkEnd_ = cursor_ + chunks_[current_].size;
+        return cursor_;
+      }
+    }
+    const std::size_t size = need > chunkBytes_ ? need : chunkBytes_;
+    Chunk c;
+    c.data = std::make_unique<std::uint8_t[]>(size);
+    c.size = size;
+    chunks_.push_back(std::move(c));
+    current_ = chunks_.size() - 1;
+    cursor_ = chunks_[current_].data.get();
+    chunkEnd_ = cursor_ + size;
+    return cursor_;
+  }
+
+  std::size_t chunkBytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;
+  std::uint8_t* cursor_ = nullptr;
+  std::uint8_t* chunkEnd_ = nullptr;
+  std::size_t bytesUsed_ = 0;
+  std::size_t highWater_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace kalis::net

@@ -2,7 +2,8 @@
 
 namespace kalis::net {
 
-Bytes BleAdvPdu::encode() const {
+template <class Storage>
+Bytes BleAdvPduT<Storage>::encode() const {
   Bytes out;
   ByteWriter w(out);
   w.u8(static_cast<std::uint8_t>(type) & 0x0f);
@@ -13,17 +14,19 @@ Bytes BleAdvPdu::encode() const {
   return out;
 }
 
-std::optional<BleAdvPdu> decodeBleAdv(BytesView raw) {
+template struct BleAdvPduT<Bytes>;
+template struct BleAdvPduT<BytesView>;
+
+std::optional<BleAdvPduView> decodeBleAdv(BytesView raw) {
   if (raw.size() < 8) return std::nullopt;
   ByteReader r(raw);
-  BleAdvPdu p;
+  BleAdvPduView p;
   p.type = static_cast<BlePduType>(*r.u8() & 0x0f);
   const std::uint8_t len = *r.u8();
   if (len < 6 || raw.size() < 2u + len) return std::nullopt;
   auto addr = *r.take(6);
   for (std::size_t i = 0; i < 6; ++i) p.advAddr.bytes[i] = addr[5 - i];
-  auto data = *r.take(len - 6u);
-  p.advData.assign(data.begin(), data.end());
+  p.advData = *r.take(len - 6u);  // aliases `raw`
   return p;
 }
 

@@ -22,14 +22,22 @@ enum class BlePduType : std::uint8_t {
   kConnectReq = 0x5,
 };
 
-struct BleAdvPdu {
+/// advData storage is a template parameter: encoders own their data
+/// (Storage = Bytes); the dissector keeps a zero-copy view (Storage =
+/// BytesView) aliasing the capture buffer.
+template <class Storage>
+struct BleAdvPduT {
   BlePduType type = BlePduType::kAdvInd;
   Mac48 advAddr{};
-  Bytes advData;
+  Storage advData{};
 
   Bytes encode() const;
 };
 
-std::optional<BleAdvPdu> decodeBleAdv(BytesView raw);
+using BleAdvPdu = BleAdvPduT<Bytes>;
+using BleAdvPduView = BleAdvPduT<BytesView>;
+
+/// The result's advData aliases `raw`.
+std::optional<BleAdvPduView> decodeBleAdv(BytesView raw);
 
 }  // namespace kalis::net

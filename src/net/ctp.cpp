@@ -4,7 +4,8 @@
 
 namespace kalis::net {
 
-Bytes CtpData::encode() const {
+template <class Storage>
+Bytes CtpDataT<Storage>::encode() const {
   Bytes out;
   ByteWriter w(out);
   w.u8(options);
@@ -17,9 +18,12 @@ Bytes CtpData::encode() const {
   return out;
 }
 
-std::optional<CtpData> decodeCtpData(BytesView raw) {
+template struct CtpDataT<Bytes>;
+template struct CtpDataT<BytesView>;
+
+std::optional<CtpDataView> decodeCtpData(BytesView raw) {
   ByteReader r(raw);
-  CtpData d;
+  CtpDataView d;
   auto options = r.u8();
   auto thl = r.u8();
   auto etx = r.u16be();
@@ -35,8 +39,7 @@ std::optional<CtpData> decodeCtpData(BytesView raw) {
   d.origin = Mac16{*origin};
   d.seqno = *seqno;
   d.collectId = *collectId;
-  auto rest = r.rest();
-  d.payload.assign(rest.begin(), rest.end());
+  d.payload = r.rest();  // aliases `raw`
   return d;
 }
 

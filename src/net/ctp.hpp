@@ -18,19 +18,34 @@
 
 namespace kalis::net {
 
-struct CtpData {
+/// Payload storage is a template parameter: encoders own their payload
+/// (Storage = Bytes); the dissector keeps a zero-copy view (Storage =
+/// BytesView) aliasing the capture buffer.
+template <class Storage>
+struct CtpDataT {
   std::uint8_t options = 0;
   std::uint8_t thl = 0;        ///< hops travelled so far
   std::uint16_t etx = 0;       ///< sender's route cost estimate
   Mac16 origin{0};             ///< original data source
   std::uint8_t seqno = 0;      ///< origin-assigned sequence number
   std::uint8_t collectId = 0;  ///< collection instance ("AM type" of the data)
-  Bytes payload;
+  Storage payload{};
 
   Bytes encode() const;
 };
 
-std::optional<CtpData> decodeCtpData(BytesView raw);
+using CtpData = CtpDataT<Bytes>;
+using CtpDataView = CtpDataT<BytesView>;
+
+/// The result's payload aliases `raw`.
+std::optional<CtpDataView> decodeCtpData(BytesView raw);
+
+/// Materializes a zero-copy view into an owning frame — the explicit copy
+/// point for forwarders that mutate or retain a dissected frame.
+inline CtpData toOwned(const CtpDataView& v) {
+  return CtpData{v.options, v.thl, v.etx, v.origin,
+                 v.seqno,   v.collectId, toBytes(v.payload)};
+}
 
 struct CtpRoutingBeacon {
   std::uint8_t options = 0;

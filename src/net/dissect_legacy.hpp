@@ -1,0 +1,58 @@
+// Frozen copy of the pre-zero-copy dissector. TEST-ONLY REFERENCE.
+//
+// When the dissector moved to in-place parsing (views aliasing the capture
+// buffer, see packet_view.hpp), this file snapshotted the previous
+// implementation — every decoder copies layer payloads into owning Bytes,
+// exactly as the original code did. The equivalence property test replays
+// the fuzz corpus and random traffic through both dissectors and asserts
+// field-for-field identical results. Do not "fix" or modernize this file:
+// its value is that it does not change.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace kalis::net::legacy {
+
+/// Owning mirror of the old Dissection: every payload field is a deep copy.
+struct LegacyDissection {
+  Medium medium = Medium::kWifi;
+  PacketType type = PacketType::kUnknown;
+
+  // 802.15.4 stack
+  std::optional<Ieee802154Frame> wpan;
+  bool wpanFcsValid = false;
+  std::optional<CtpData> ctpData;
+  std::optional<CtpRoutingBeacon> ctpBeacon;
+  std::optional<ZigbeeNwkFrame> zigbee;
+  std::optional<Ipv6Header> ipv6;
+  std::optional<Icmpv6Message> icmpv6;
+  std::optional<RplDio> rplDio;
+  std::optional<RplDao> rplDao;
+
+  // WiFi stack
+  std::optional<WifiFrame> wifi;
+  bool wifiFcsValid = false;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpSegment> tcp;
+  std::optional<UdpDatagram> udp;
+  std::optional<IcmpMessage> icmp;
+
+  // Bluetooth
+  std::optional<BleAdvPdu> ble;
+
+  Bytes appPayload;
+
+  std::string linkSource() const;
+  std::string linkDest() const;
+  std::optional<std::string> networkSource() const;
+  std::optional<std::string> networkDest() const;
+  bool isBroadcastDest() const;
+};
+
+/// The old copying dissect(), byte-for-byte the pre-refactor behavior.
+LegacyDissection dissectLegacy(const CapturedPacket& pkt);
+
+}  // namespace kalis::net::legacy

@@ -1,0 +1,17 @@
+#include "net/entity_ref.hpp"
+
+namespace kalis::net {
+
+std::string EntityRef::toString() const {
+  switch (kind_) {
+    case Kind::kNone: return "?";
+    case Kind::kBroadcast: return "broadcast";
+    case Kind::kMac16: return net::toString(asMac16());
+    case Kind::kMac48: return net::toString(asMac48());
+    case Kind::kIpv4: return net::toString(asIpv4());
+    case Kind::kIpv6: return net::toString(asIpv6());
+  }
+  return "?";
+}
+
+}  // namespace kalis::net

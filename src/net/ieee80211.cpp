@@ -36,7 +36,8 @@ Mac48 readMac(ByteReader& r) {
 
 }  // namespace
 
-Bytes WifiFrame::encode() const {
+template <class Storage>
+Bytes WifiFrameT<Storage>::encode() const {
   Bytes out;
   ByteWriter w(out);
   const FcBits fc = fcBitsFor(kind);
@@ -66,6 +67,9 @@ Bytes WifiFrame::encode() const {
   w.u32le(crc32(BytesView(out)));
   return out;
 }
+
+template struct WifiFrameT<Bytes>;
+template struct WifiFrameT<BytesView>;
 
 std::optional<WifiDecoded> decodeWifi(BytesView raw) {
   if (raw.size() < 24 + 4) return std::nullopt;
@@ -112,8 +116,7 @@ std::optional<WifiDecoded> decodeWifi(BytesView raw) {
   d.frame.seqCtl = *r.u16le();
 
   const std::size_t bodyLen = r.remaining() - 4;
-  auto body = *r.take(bodyLen);
-  d.frame.body.assign(body.begin(), body.end());
+  d.frame.body = *r.take(bodyLen);  // aliases `raw`
   auto fcs = *r.u32le();
   d.fcsValid = (fcs == crc32(raw.subspan(0, raw.size() - 4)));
   return d;

@@ -25,7 +25,11 @@ enum class WifiFrameKind : std::uint8_t {
   kDeauth,
 };
 
-struct WifiFrame {
+/// Body storage is a template parameter: encoders own their body (Storage =
+/// Bytes); the dissector keeps a zero-copy view into the capture buffer
+/// (Storage = BytesView).
+template <class Storage>
+struct WifiFrameT {
   WifiFrameKind kind = WifiFrameKind::kData;
   bool toDs = false;
   bool fromDs = false;
@@ -35,13 +39,16 @@ struct WifiFrame {
   Mac48 bssid{};
   std::uint16_t seqCtl = 0;
   /// For data frames: LLC/SNAP + network payload. For beacons: the SSID.
-  Bytes body;
+  Storage body{};
 
   Bytes encode() const;
 };
 
+using WifiFrame = WifiFrameT<Bytes>;
+using WifiFrameView = WifiFrameT<BytesView>;
+
 struct WifiDecoded {
-  WifiFrame frame;
+  WifiFrameView frame;
   bool fcsValid = false;
 };
 

@@ -14,7 +14,8 @@ constexpr std::uint16_t kDstShortMode = 0x0800;   // dst addressing mode = 2
 constexpr std::uint16_t kSrcShortMode = 0x8000;   // src addressing mode = 2
 }  // namespace
 
-Bytes Ieee802154Frame::encode() const {
+template <class Storage>
+Bytes Ieee802154FrameT<Storage>::encode() const {
   Bytes out;
   ByteWriter w(out);
   std::uint16_t fcf = static_cast<std::uint16_t>(type) & kFrameTypeMask;
@@ -30,6 +31,9 @@ Bytes Ieee802154Frame::encode() const {
   w.u16le(crc16Ccitt(BytesView(out)));
   return out;
 }
+
+template struct Ieee802154FrameT<Bytes>;
+template struct Ieee802154FrameT<BytesView>;
 
 std::optional<Ieee802154Decoded> decodeIeee802154(BytesView raw) {
   ByteReader r(raw);
@@ -53,7 +57,7 @@ std::optional<Ieee802154Decoded> decodeIeee802154(BytesView raw) {
   const std::size_t payloadLen = r.remaining() - 2;
   auto payload = r.take(payloadLen);
   auto fcs = r.u16le();
-  d.frame.payload.assign(payload->begin(), payload->end());
+  d.frame.payload = *payload;  // aliases `raw`
   d.fcsValid = (*fcs == crc16Ccitt(raw.subspan(0, raw.size() - 2)));
   return d;
 }

@@ -22,7 +22,12 @@ enum class WpanFrameType : std::uint8_t {
   kMacCommand = 3,
 };
 
-struct Ieee802154Frame {
+/// Payload storage is a template parameter: encode-side users own their
+/// payload (`Ieee802154Frame`, Storage = Bytes), while the dissector keeps a
+/// zero-copy view into the capture buffer (`Ieee802154FrameView`,
+/// Storage = BytesView).
+template <class Storage>
+struct Ieee802154FrameT {
   WpanFrameType type = WpanFrameType::kData;
   bool securityEnabled = false;   ///< link-layer security bit (feature signal)
   bool ackRequest = false;
@@ -30,19 +35,24 @@ struct Ieee802154Frame {
   std::uint16_t panId = 0;
   Mac16 dst{Mac16::kBroadcast};
   Mac16 src{0};
-  Bytes payload;
+  Storage payload{};
 
   /// Serializes the frame including a freshly computed FCS.
   Bytes encode() const;
 };
 
+using Ieee802154Frame = Ieee802154FrameT<Bytes>;
+using Ieee802154FrameView = Ieee802154FrameT<BytesView>;
+
 struct Ieee802154Decoded {
-  Ieee802154Frame frame;
+  Ieee802154FrameView frame;
   bool fcsValid = false;
 };
 
 /// Decodes a frame; nullopt when structurally truncated. A bad FCS still
 /// decodes (an IDS wants to see corrupted traffic) with fcsValid=false.
+/// The result's payload is a view aliasing `raw` — the caller keeps the
+/// backing buffer alive for as long as the decoded frame is used.
 std::optional<Ieee802154Decoded> decodeIeee802154(BytesView raw);
 
 // --- payload dispatch -------------------------------------------------------

@@ -53,8 +53,7 @@ std::optional<Ipv4Decoded> decodeIpv4(BytesView raw) {
 
   std::size_t payloadLen = *totalLen >= ihl ? *totalLen - ihl : 0;
   if (payloadLen > raw.size() - ihl) payloadLen = raw.size() - ihl;
-  auto payload = raw.subspan(ihl, payloadLen);
-  d.payload.assign(payload.begin(), payload.end());
+  d.payload = raw.subspan(ihl, payloadLen);  // aliases `raw`
   return d;
 }
 

@@ -31,7 +31,7 @@ struct Ipv4Header {
 struct Ipv4Decoded {
   Ipv4Header header;
   bool checksumValid = false;
-  Bytes payload;
+  BytesView payload;  ///< aliases the decoded buffer
 };
 
 std::optional<Ipv4Decoded> decodeIpv4(BytesView raw);

@@ -37,8 +37,7 @@ std::optional<Ipv6Decoded> decodeIpv6(BytesView raw) {
   std::copy(dstBytes.begin(), dstBytes.end(), d.header.dst.bytes.begin());
   std::size_t len = payloadLen;
   if (len > r.remaining()) len = r.remaining();
-  auto payload = *r.take(len);
-  d.payload.assign(payload.begin(), payload.end());
+  d.payload = *r.take(len);  // aliases `raw`
   return d;
 }
 
@@ -56,7 +55,8 @@ Bytes ipv6PseudoHeader(const Ipv6Addr& src, const Ipv6Addr& dst,
   return out;
 }
 
-Bytes Icmpv6Message::encode(const Ipv6Addr& src, const Ipv6Addr& dst) const {
+template <class Storage>
+Bytes Icmpv6MessageT<Storage>::encode(const Ipv6Addr& src, const Ipv6Addr& dst) const {
   Bytes out;
   ByteWriter w(out);
   w.u8(static_cast<std::uint8_t>(type));
@@ -71,6 +71,9 @@ Bytes Icmpv6Message::encode(const Ipv6Addr& src, const Ipv6Addr& dst) const {
   return out;
 }
 
+template struct Icmpv6MessageT<Bytes>;
+template struct Icmpv6MessageT<BytesView>;
+
 std::optional<Icmpv6Decoded> decodeIcmpv6(BytesView raw, const Ipv6Addr& src,
                                           const Ipv6Addr& dst) {
   if (raw.size() < 4) return std::nullopt;
@@ -79,8 +82,7 @@ std::optional<Icmpv6Decoded> decodeIcmpv6(BytesView raw, const Ipv6Addr& src,
   d.message.type = static_cast<Icmpv6Type>(*r.u8());
   d.message.code = *r.u8();
   r.u16be();  // checksum
-  auto body = r.rest();
-  d.message.body.assign(body.begin(), body.end());
+  d.message.body = r.rest();  // aliases `raw`
   const Bytes pseudo =
       ipv6PseudoHeader(src, dst, static_cast<std::uint32_t>(raw.size()),
                        static_cast<std::uint8_t>(IpProto::kIcmpv6));

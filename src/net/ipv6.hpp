@@ -24,7 +24,7 @@ struct Ipv6Header {
 
 struct Ipv6Decoded {
   Ipv6Header header;
-  Bytes payload;
+  BytesView payload;  ///< aliases the decoded buffer
 };
 
 std::optional<Ipv6Decoded> decodeIpv6(BytesView raw);
@@ -47,17 +47,23 @@ inline constexpr std::uint8_t kRplCodeDio = 0x01;
 inline constexpr std::uint8_t kRplCodeDao = 0x02;
 inline constexpr std::uint8_t kRplCodeDaoAck = 0x03;
 
-struct Icmpv6Message {
+/// Body storage is a template parameter: encoders own their body (Storage =
+/// Bytes); the dissector keeps a zero-copy view (Storage = BytesView).
+template <class Storage>
+struct Icmpv6MessageT {
   Icmpv6Type type = Icmpv6Type::kEchoRequest;
   std::uint8_t code = 0;
-  Bytes body;
+  Storage body{};
 
   /// Serializes with the checksum over the IPv6 pseudo-header.
   Bytes encode(const Ipv6Addr& src, const Ipv6Addr& dst) const;
 };
 
+using Icmpv6Message = Icmpv6MessageT<Bytes>;
+using Icmpv6MessageView = Icmpv6MessageT<BytesView>;
+
 struct Icmpv6Decoded {
-  Icmpv6Message message;
+  Icmpv6MessageView message;
   bool checksumValid = false;
 };
 

@@ -1,6 +1,18 @@
 #include "net/packet.hpp"
 
+#include <atomic>
+
+#include "net/packet_view.hpp"
+
 namespace kalis::net {
+
+namespace {
+std::atomic<std::uint64_t> g_dissectCalls{0};
+}  // namespace
+
+std::uint64_t dissectCallCount() {
+  return g_dissectCalls.load(std::memory_order_relaxed);
+}
 
 const char* mediumName(Medium m) {
   switch (m) {
@@ -46,32 +58,6 @@ const char* packetTypeName(PacketType t) {
   return "?";
 }
 
-std::string Dissection::linkSource() const {
-  if (wpan) return toString(wpan->src);
-  if (wifi) return toString(wifi->src);
-  if (ble) return toString(ble->advAddr);
-  return "?";
-}
-
-std::string Dissection::linkDest() const {
-  if (wpan) return toString(wpan->dst);
-  if (wifi) return toString(wifi->dst);
-  if (ble) return "broadcast";
-  return "?";
-}
-
-std::optional<std::string> Dissection::networkSource() const {
-  if (ipv4) return toString(ipv4->src);
-  if (ipv6) return toString(ipv6->src);
-  return std::nullopt;
-}
-
-std::optional<std::string> Dissection::networkDest() const {
-  if (ipv4) return toString(ipv4->dst);
-  if (ipv6) return toString(ipv6->dst);
-  return std::nullopt;
-}
-
 bool Dissection::isBroadcastDest() const {
   if (wpan) return wpan->dst.isBroadcast();
   if (wifi) return wifi->dst.isBroadcast();
@@ -104,7 +90,7 @@ void dissectIpv4Payload(Dissection& d, const Ipv4Decoded& ip) {
   d.ipv4 = ip.header;
   switch (ip.header.protocol) {
     case IpProto::kTcp: {
-      if (auto t = decodeTcp(BytesView(ip.payload), ip.header.src, ip.header.dst)) {
+      if (auto t = decodeTcp(ip.payload, ip.header.src, ip.header.dst)) {
         d.tcp = t->segment;
         d.appPayload = t->segment.payload;
         classifyTcp(d);
@@ -114,7 +100,7 @@ void dissectIpv4Payload(Dissection& d, const Ipv4Decoded& ip) {
       break;
     }
     case IpProto::kUdp: {
-      if (auto u = decodeUdp(BytesView(ip.payload), ip.header.src, ip.header.dst)) {
+      if (auto u = decodeUdp(ip.payload, ip.header.src, ip.header.dst)) {
         d.udp = u->datagram;
         d.appPayload = u->datagram.payload;
         d.type = PacketType::kUdp;
@@ -124,7 +110,7 @@ void dissectIpv4Payload(Dissection& d, const Ipv4Decoded& ip) {
       break;
     }
     case IpProto::kIcmp: {
-      if (auto m = decodeIcmp(BytesView(ip.payload))) {
+      if (auto m = decodeIcmp(ip.payload)) {
         d.icmp = m->message;
         d.appPayload = m->message.payload;
         switch (m->message.type) {
@@ -150,7 +136,7 @@ void dissectIpv6Payload(Dissection& d, const Ipv6Decoded& ip) {
     d.appPayload = ip.payload;
     return;
   }
-  auto m = decodeIcmpv6(BytesView(ip.payload), ip.header.src, ip.header.dst);
+  auto m = decodeIcmpv6(ip.payload, ip.header.src, ip.header.dst);
   if (!m) {
     d.type = PacketType::kMalformed;
     return;
@@ -165,10 +151,10 @@ void dissectIpv6Payload(Dissection& d, const Ipv6Decoded& ip) {
       break;
     case Icmpv6Type::kRplControl:
       if (m->message.code == kRplCodeDio) {
-        d.rplDio = decodeRplDio(BytesView(m->message.body));
+        d.rplDio = decodeRplDio(m->message.body);
         d.type = d.rplDio ? PacketType::kRplDio : PacketType::kMalformed;
       } else if (m->message.code == kRplCodeDao) {
-        d.rplDao = decodeRplDao(BytesView(m->message.body));
+        d.rplDao = decodeRplDao(m->message.body);
         d.type = d.rplDao ? PacketType::kRplDao : PacketType::kMalformed;
       } else {
         d.type = PacketType::kSixlowpanOther;
@@ -185,7 +171,7 @@ void dissectWpan(Dissection& d, BytesView raw) {
   }
   d.wpan = decoded->frame;
   d.wpanFcsValid = decoded->fcsValid;
-  const Bytes& payload = d.wpan->payload;
+  const BytesView payload = d.wpan->payload;
 
   if (d.wpan->type == WpanFrameType::kAck) {
     d.type = PacketType::kWpanAck;
@@ -200,16 +186,19 @@ void dissectWpan(Dissection& d, BytesView raw) {
     return;
   }
 
-  const std::uint8_t dispatch = payload[0];
-  const BytesView inner = BytesView(payload).subspan(1);
+  // skb-style dispatch walk: pull protocol tag bytes off the front of the
+  // payload view; everything handed to inner decoders aliases the frame.
+  PacketView cursor(payload);
+  const std::uint8_t dispatch = *cursor.pullByte();
+  const BytesView inner = cursor.data();
   if (dispatch == kDispatchTinyosAm) {
-    if (inner.empty()) {
+    const auto amId = cursor.pullByte();
+    if (!amId) {
       d.type = PacketType::kMalformed;
       return;
     }
-    const std::uint8_t amId = inner[0];
-    const BytesView amPayload = inner.subspan(1);
-    if (amId == kAmCtpData) {
+    const BytesView amPayload = cursor.data();
+    if (*amId == kAmCtpData) {
       d.ctpData = decodeCtpData(amPayload);
       if (d.ctpData) {
         d.appPayload = d.ctpData->payload;
@@ -217,15 +206,15 @@ void dissectWpan(Dissection& d, BytesView raw) {
       } else {
         d.type = PacketType::kMalformed;
       }
-    } else if (amId == kAmCtpRouting) {
+    } else if (*amId == kAmCtpRouting) {
       d.ctpBeacon = decodeCtpBeacon(amPayload);
       d.type = d.ctpBeacon ? PacketType::kCtpRouting : PacketType::kMalformed;
     } else {
-      d.appPayload.assign(amPayload.begin(), amPayload.end());
+      d.appPayload = amPayload;
       d.type = PacketType::kUnknown;
     }
   } else if (dispatch == kDispatchZigbeeNwk) {
-    d.zigbee = decodeZigbeeNwk(BytesView(payload));
+    d.zigbee = decodeZigbeeNwk(payload);
     if (!d.zigbee) {
       d.type = PacketType::kMalformed;
       return;
@@ -268,7 +257,7 @@ void dissectWifi(Dissection& d, BytesView raw) {
     case WifiFrameKind::kData:
       break;
   }
-  auto llc = llcSnapUnwrap(BytesView(d.wifi->body));
+  auto llc = llcSnapUnwrap(d.wifi->body);
   if (!llc) {
     d.type = PacketType::kUnknown;
     return;
@@ -308,8 +297,10 @@ void dissectBle(Dissection& d, BytesView raw) {
 }  // namespace
 
 Dissection dissect(const CapturedPacket& pkt) {
+  g_dissectCalls.fetch_add(1, std::memory_order_relaxed);
   Dissection d;
   d.medium = pkt.medium;
+  d.raw = BytesView(pkt.raw);
   switch (pkt.medium) {
     case Medium::kIeee802154:
       dissectWpan(d, BytesView(pkt.raw));

@@ -15,6 +15,7 @@
 #include "net/addr.hpp"
 #include "net/ble.hpp"
 #include "net/ctp.hpp"
+#include "net/entity_ref.hpp"
 #include "net/ieee80211.hpp"
 #include "net/ieee802154.hpp"
 #include "net/ipv4.hpp"
@@ -88,48 +89,101 @@ inline constexpr std::size_t kNumPacketTypes =
 
 /// Fully parsed view of a captured packet. Layers that did not parse are
 /// empty optionals; `type` is always set (possibly kMalformed/kUnknown).
+///
+/// ZERO-COPY AND ALIASING: the dissector parses in place. Every variable-
+/// length field here — `appPayload`, `raw`, and the payload/body views inside
+/// the layer structs — is a BytesView aliasing the CapturedPacket's buffer
+/// that was dissected. A Dissection is therefore valid only as long as that
+/// buffer is; consumers that must outlive it copy explicitly with toBytes()
+/// or BatchArena::copy(). See DESIGN.md §10 for the full contract.
 struct Dissection {
   Medium medium = Medium::kWifi;
   PacketType type = PacketType::kUnknown;
 
   // 802.15.4 stack
-  std::optional<Ieee802154Frame> wpan;
+  std::optional<Ieee802154FrameView> wpan;
   bool wpanFcsValid = false;
-  std::optional<CtpData> ctpData;
+  std::optional<CtpDataView> ctpData;
   std::optional<CtpRoutingBeacon> ctpBeacon;
-  std::optional<ZigbeeNwkFrame> zigbee;
+  std::optional<ZigbeeNwkFrameView> zigbee;
   std::optional<Ipv6Header> ipv6;
-  std::optional<Icmpv6Message> icmpv6;
+  std::optional<Icmpv6MessageView> icmpv6;
   std::optional<RplDio> rplDio;
   std::optional<RplDao> rplDao;
 
   // WiFi stack
-  std::optional<WifiFrame> wifi;
+  std::optional<WifiFrameView> wifi;
   bool wifiFcsValid = false;
   std::optional<Ipv4Header> ipv4;
-  std::optional<TcpSegment> tcp;
-  std::optional<UdpDatagram> udp;
-  std::optional<IcmpMessage> icmp;
+  std::optional<TcpSegmentView> tcp;
+  std::optional<UdpDatagramView> udp;
+  std::optional<IcmpMessageView> icmp;
 
   // Bluetooth
-  std::optional<BleAdvPdu> ble;
+  std::optional<BleAdvPduView> ble;
 
-  /// Innermost application payload (possibly empty).
-  Bytes appPayload;
+  /// Innermost application payload (possibly empty). Aliases `raw`.
+  BytesView appPayload;
 
+  /// The frame this dissection was parsed from (aliases the capture buffer).
+  BytesView raw;
+
+  // Allocation-free entity identities — the per-packet hot-path accessors.
+  /// Link-layer sender (EntityRef::none() when no link layer parsed).
+  EntityRef linkSourceRef() const {
+    if (wpan) return EntityRef::of(wpan->src);
+    if (wifi) return EntityRef::of(wifi->src);
+    if (ble) return EntityRef::of(ble->advAddr);
+    return EntityRef::none();
+  }
+  /// Link-layer destination (BLE advertising is always "broadcast").
+  EntityRef linkDestRef() const {
+    if (wpan) return EntityRef::of(wpan->dst);
+    if (wifi) return EntityRef::of(wifi->dst);
+    if (ble) return EntityRef::broadcastLabel();
+    return EntityRef::none();
+  }
+  /// Network-layer source, when an IP layer parsed.
+  EntityRef networkSourceRef() const {
+    if (ipv4) return EntityRef::of(ipv4->src);
+    if (ipv6) return EntityRef::of(ipv6->src);
+    return EntityRef::none();
+  }
+  EntityRef networkDestRef() const {
+    if (ipv4) return EntityRef::of(ipv4->dst);
+    if (ipv6) return EntityRef::of(ipv6->dst);
+    return EntityRef::none();
+  }
+
+  // String forms — thin wrappers over the refs, for knowgget labels and
+  // alert text. These allocate; keep them off the per-packet path.
   /// Entity identifier of the link-layer sender, as used in knowgget
   /// "entity" fields ("0x0003", "aa:bb:cc:dd:ee:ff").
-  std::string linkSource() const;
+  std::string linkSource() const { return linkSourceRef().toString(); }
   /// Entity identifier of the link-layer destination.
-  std::string linkDest() const;
+  std::string linkDest() const { return linkDestRef().toString(); }
   /// Network-layer source if an IP layer parsed ("10.0.0.7", "fe80::...").
-  std::optional<std::string> networkSource() const;
-  std::optional<std::string> networkDest() const;
+  std::optional<std::string> networkSource() const {
+    const EntityRef r = networkSourceRef();
+    if (!r.valid()) return std::nullopt;
+    return r.toString();
+  }
+  std::optional<std::string> networkDest() const {
+    const EntityRef r = networkDestRef();
+    if (!r.valid()) return std::nullopt;
+    return r.toString();
+  }
   bool isBroadcastDest() const;
 };
 
-/// Parses every layer it can from the raw bytes. Never throws; garbage
-/// input yields type = kMalformed / kUnknown with layers unset.
+/// Parses every layer it can from the raw bytes, entirely in place: the
+/// result aliases pkt.raw (see Dissection). Never throws; garbage input
+/// yields type = kMalformed / kUnknown with layers unset.
 Dissection dissect(const CapturedPacket& pkt);
+
+/// Process-wide count of dissect() calls, maintained with relaxed atomics
+/// (negligible cost). Tests use deltas of this counter to enforce the
+/// dissect-once capture-path invariant; see sim_test.cpp.
+std::uint64_t dissectCallCount();
 
 }  // namespace kalis::net

@@ -1,0 +1,64 @@
+// Zero-copy packet parsing primitives.
+//
+// PacketView is a non-owning cursor over a captured frame, in the spirit of
+// the kernel sk_buff's pull/trim discipline: dissectors *pull* headers off
+// the front and *trim* trailers (FCS) off the end, and every sub-slice they
+// hand out is a BytesView aliasing the original capture buffer. Nothing is
+// copied; the caller guarantees the backing buffer outlives every view
+// derived from it (see DESIGN.md §10 for the aliasing contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace kalis::net {
+
+class PacketView {
+ public:
+  constexpr PacketView() = default;
+  explicit constexpr PacketView(BytesView frame) : frame_(frame), end_(frame.size()) {}
+
+  /// The whole backing frame, regardless of pulls/trims.
+  constexpr BytesView frame() const { return frame_; }
+  /// Bytes between the pull cursor and the trimmed end.
+  BytesView data() const { return frame_.subspan(offset_, end_ - offset_); }
+  constexpr std::size_t offset() const { return offset_; }
+  constexpr std::size_t remaining() const { return end_ - offset_; }
+  constexpr bool empty() const { return offset_ == end_; }
+
+  /// First un-pulled byte, if any (protocol dispatch byte peeking).
+  std::optional<std::uint8_t> peek() const {
+    if (empty()) return std::nullopt;
+    return frame_[offset_];
+  }
+
+  /// Advances the header cursor by n; fails (untouched) past the end.
+  constexpr bool pull(std::size_t n) {
+    if (remaining() < n) return false;
+    offset_ += n;
+    return true;
+  }
+
+  /// Pulls one byte and returns it — the dispatch-walk primitive.
+  std::optional<std::uint8_t> pullByte() {
+    if (empty()) return std::nullopt;
+    return frame_[offset_++];
+  }
+
+  /// Drops n trailer bytes (an FCS) from the logical end.
+  constexpr bool trimEnd(std::size_t n) {
+    if (remaining() < n) return false;
+    end_ -= n;
+    return true;
+  }
+
+ private:
+  BytesView frame_{};
+  std::size_t offset_ = 0;
+  std::size_t end_ = 0;
+};
+
+}  // namespace kalis::net

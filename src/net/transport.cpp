@@ -24,7 +24,8 @@ TcpFlags TcpFlags::decode(std::uint8_t bits) {
   return f;
 }
 
-Bytes TcpSegment::encode(Ipv4Addr src, Ipv4Addr dst) const {
+template <class Storage>
+Bytes TcpSegmentT<Storage>::encode(Ipv4Addr src, Ipv4Addr dst) const {
   Bytes out;
   ByteWriter w(out);
   w.u16be(srcPort);
@@ -60,15 +61,18 @@ std::optional<TcpDecoded> decodeTcp(BytesView raw, Ipv4Addr src, Ipv4Addr dst) {
   r.u16be();  // checksum
   r.u16be();  // urgent
   r.skip(headerLen - 20);
-  auto payload = r.rest();
-  d.segment.payload.assign(payload.begin(), payload.end());
+  d.segment.payload = r.rest();  // aliases `raw`
   const Bytes pseudo = ipv4PseudoHeader(src, dst, IpProto::kTcp,
                                         static_cast<std::uint16_t>(raw.size()));
   d.checksumValid = internetChecksum2(pseudo, raw) == 0;
   return d;
 }
 
-Bytes UdpDatagram::encode(Ipv4Addr src, Ipv4Addr dst) const {
+template struct TcpSegmentT<Bytes>;
+template struct TcpSegmentT<BytesView>;
+
+template <class Storage>
+Bytes UdpDatagramT<Storage>::encode(Ipv4Addr src, Ipv4Addr dst) const {
   Bytes out;
   ByteWriter w(out);
   w.u16be(srcPort);
@@ -94,15 +98,18 @@ std::optional<UdpDecoded> decodeUdp(BytesView raw, Ipv4Addr src, Ipv4Addr dst) {
   auto len = *r.u16be();
   r.u16be();  // checksum
   if (len < 8 || len > raw.size()) return std::nullopt;
-  auto payload = raw.subspan(8, len - 8);
-  d.datagram.payload.assign(payload.begin(), payload.end());
+  d.datagram.payload = raw.subspan(8, len - 8);  // aliases `raw`
   const Bytes pseudo =
       ipv4PseudoHeader(src, dst, IpProto::kUdp, static_cast<std::uint16_t>(len));
   d.checksumValid = internetChecksum2(pseudo, raw.subspan(0, len)) == 0;
   return d;
 }
 
-Bytes IcmpMessage::encode() const {
+template struct UdpDatagramT<Bytes>;
+template struct UdpDatagramT<BytesView>;
+
+template <class Storage>
+Bytes IcmpMessageT<Storage>::encode() const {
   Bytes out;
   ByteWriter w(out);
   w.u8(static_cast<std::uint8_t>(type));
@@ -116,6 +123,9 @@ Bytes IcmpMessage::encode() const {
   return out;
 }
 
+template struct IcmpMessageT<Bytes>;
+template struct IcmpMessageT<BytesView>;
+
 std::optional<IcmpDecoded> decodeIcmp(BytesView raw) {
   if (raw.size() < 8) return std::nullopt;
   ByteReader r(raw);
@@ -125,8 +135,7 @@ std::optional<IcmpDecoded> decodeIcmp(BytesView raw) {
   r.u16be();  // checksum
   d.message.identifier = *r.u16be();
   d.message.sequence = *r.u16be();
-  auto payload = r.rest();
-  d.message.payload.assign(payload.begin(), payload.end());
+  d.message.payload = r.rest();  // aliases `raw`
   d.checksumValid = internetChecksum(raw) == 0;
   return d;
 }

@@ -29,21 +29,28 @@ struct TcpFlags {
   bool isSynAck() const { return syn && ack; }
 };
 
-struct TcpSegment {
+/// Payload storage is a template parameter: encoders own their payload
+/// (Storage = Bytes); the dissector keeps a zero-copy view (Storage =
+/// BytesView) aliasing the capture buffer.
+template <class Storage>
+struct TcpSegmentT {
   std::uint16_t srcPort = 0;
   std::uint16_t dstPort = 0;
   std::uint32_t seq = 0;
   std::uint32_t ackNo = 0;
   TcpFlags flags;
   std::uint16_t window = 65535;
-  Bytes payload;
+  Storage payload{};
 
   /// Serializes with a checksum over the IPv4 pseudo-header.
   Bytes encode(Ipv4Addr src, Ipv4Addr dst) const;
 };
 
+using TcpSegment = TcpSegmentT<Bytes>;
+using TcpSegmentView = TcpSegmentT<BytesView>;
+
 struct TcpDecoded {
-  TcpSegment segment;
+  TcpSegmentView segment;
   bool checksumValid = false;
 };
 
@@ -51,16 +58,20 @@ std::optional<TcpDecoded> decodeTcp(BytesView raw, Ipv4Addr src, Ipv4Addr dst);
 
 // --- UDP --------------------------------------------------------------------
 
-struct UdpDatagram {
+template <class Storage>
+struct UdpDatagramT {
   std::uint16_t srcPort = 0;
   std::uint16_t dstPort = 0;
-  Bytes payload;
+  Storage payload{};
 
   Bytes encode(Ipv4Addr src, Ipv4Addr dst) const;
 };
 
+using UdpDatagram = UdpDatagramT<Bytes>;
+using UdpDatagramView = UdpDatagramT<BytesView>;
+
 struct UdpDecoded {
-  UdpDatagram datagram;
+  UdpDatagramView datagram;
   bool checksumValid = false;
 };
 
@@ -75,21 +86,40 @@ enum class IcmpType : std::uint8_t {
   kTimeExceeded = 11,
 };
 
-struct IcmpMessage {
+template <class Storage>
+struct IcmpMessageT {
   IcmpType type = IcmpType::kEchoRequest;
   std::uint8_t code = 0;
   std::uint16_t identifier = 0;
   std::uint16_t sequence = 0;
-  Bytes payload;
+  Storage payload{};
 
   Bytes encode() const;
 };
 
+using IcmpMessage = IcmpMessageT<Bytes>;
+using IcmpMessageView = IcmpMessageT<BytesView>;
+
 struct IcmpDecoded {
-  IcmpMessage message;
+  IcmpMessageView message;
   bool checksumValid = false;
 };
 
 std::optional<IcmpDecoded> decodeIcmp(BytesView raw);
+
+// Materialize zero-copy views into owning structs — the explicit copy points
+// for code that retains a segment past the dissection's lifetime (e.g. the
+// InternetCloud handlers, which run after the WAN latency).
+inline TcpSegment toOwned(const TcpSegmentView& v) {
+  return TcpSegment{v.srcPort, v.dstPort, v.seq,
+                    v.ackNo,   v.flags,   v.window, toBytes(v.payload)};
+}
+inline UdpDatagram toOwned(const UdpDatagramView& v) {
+  return UdpDatagram{v.srcPort, v.dstPort, toBytes(v.payload)};
+}
+inline IcmpMessage toOwned(const IcmpMessageView& v) {
+  return IcmpMessage{v.type, v.code, v.identifier, v.sequence,
+                     toBytes(v.payload)};
+}
 
 }  // namespace kalis::net

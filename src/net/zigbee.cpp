@@ -9,7 +9,8 @@ constexpr std::uint16_t kTypeMask = 0x0003;
 constexpr std::uint16_t kSecurityBit = 0x0200;
 }  // namespace
 
-Bytes ZigbeeNwkFrame::encode() const {
+template <class Storage>
+Bytes ZigbeeNwkFrameT<Storage>::encode() const {
   Bytes out;
   ByteWriter w(out);
   w.u8(kDispatchZigbeeNwk);
@@ -24,12 +25,10 @@ Bytes ZigbeeNwkFrame::encode() const {
   return out;
 }
 
-std::optional<ZigbeeCommand> ZigbeeNwkFrame::command() const {
-  if (type != ZigbeeFrameType::kCommand || payload.empty()) return std::nullopt;
-  return static_cast<ZigbeeCommand>(payload[0]);
-}
+template struct ZigbeeNwkFrameT<Bytes>;
+template struct ZigbeeNwkFrameT<BytesView>;
 
-std::optional<ZigbeeNwkFrame> decodeZigbeeNwk(BytesView raw) {
+std::optional<ZigbeeNwkFrameView> decodeZigbeeNwk(BytesView raw) {
   ByteReader r(raw);
   auto dispatch = r.u8();
   if (!dispatch || *dispatch != kDispatchZigbeeNwk) return std::nullopt;
@@ -39,15 +38,14 @@ std::optional<ZigbeeNwkFrame> decodeZigbeeNwk(BytesView raw) {
   auto radius = r.u8();
   auto seq = r.u8();
   if (!fc || !dst || !src || !radius || !seq) return std::nullopt;
-  ZigbeeNwkFrame f;
+  ZigbeeNwkFrameView f;
   f.type = static_cast<ZigbeeFrameType>(*fc & kTypeMask);
   f.securityEnabled = (*fc & kSecurityBit) != 0;
   f.dst = Mac16{*dst};
   f.src = Mac16{*src};
   f.radius = *radius;
   f.seq = *seq;
-  auto rest = r.rest();
-  f.payload.assign(rest.begin(), rest.end());
+  f.payload = r.rest();  // aliases `raw`
   return f;
 }
 

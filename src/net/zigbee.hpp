@@ -25,24 +25,42 @@ enum class ZigbeeCommand : std::uint8_t {
   kLinkStatus = 0x08,
 };
 
-struct ZigbeeNwkFrame {
+/// Payload storage is a template parameter: encoders own their payload
+/// (Storage = Bytes); the dissector keeps a zero-copy view (Storage =
+/// BytesView) aliasing the capture buffer.
+template <class Storage>
+struct ZigbeeNwkFrameT {
   ZigbeeFrameType type = ZigbeeFrameType::kData;
   bool securityEnabled = false;  ///< NWK security bit (frameControl bit 9)
   Mac16 dst{Mac16::kBroadcast};
   Mac16 src{0};
   std::uint8_t radius = 1;  ///< remaining hop budget; >1 implies routing
   std::uint8_t seq = 0;
-  Bytes payload;
+  Storage payload{};
 
   /// Serializes including the 0x48 dispatch byte.
   Bytes encode() const;
 
   /// For command frames: the command id, if present.
-  std::optional<ZigbeeCommand> command() const;
+  std::optional<ZigbeeCommand> command() const {
+    if (type != ZigbeeFrameType::kCommand || payload.empty()) return std::nullopt;
+    return static_cast<ZigbeeCommand>(payload[0]);
+  }
 };
 
-/// Expects `raw` to begin with the 0x48 dispatch byte.
-std::optional<ZigbeeNwkFrame> decodeZigbeeNwk(BytesView raw);
+using ZigbeeNwkFrame = ZigbeeNwkFrameT<Bytes>;
+using ZigbeeNwkFrameView = ZigbeeNwkFrameT<BytesView>;
+
+/// Expects `raw` to begin with the 0x48 dispatch byte. The result's payload
+/// aliases `raw`.
+std::optional<ZigbeeNwkFrameView> decodeZigbeeNwk(BytesView raw);
+
+/// Materializes a zero-copy view into an owning frame — the explicit copy
+/// point for relays that mutate or retain a dissected frame.
+inline ZigbeeNwkFrame toOwned(const ZigbeeNwkFrameView& v) {
+  return ZigbeeNwkFrame{v.type, v.securityEnabled, v.dst,
+                        v.src,  v.radius,          v.seq, toBytes(v.payload)};
+}
 
 // Application-profile payload tags used by the simulated hub/sub traffic
 // (first byte of a NWK data payload). Shared between the traffic agents and

@@ -26,9 +26,27 @@ class PacketEngine {
   /// Processes one packet. Packets arrive in per-source capture order.
   virtual void onPacket(const net::CapturedPacket& pkt) = 0;
 
+  /// Processes one dequeued batch. The pointed-to packets stay alive (and
+  /// unmoved) for the whole call, so an engine may dissect them in place and
+  /// keep batch-scoped views — e.g. against an arena it resets here. The
+  /// default simply loops onPacket; override to amortize per-batch work.
+  virtual void onBatch(const net::CapturedPacket* const* pkts,
+                       std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) onPacket(*pkts[i]);
+  }
+
   /// Returns (and clears) the alerts raised since the previous call, in
   /// nondecreasing Alert::time order.
   virtual std::vector<ids::Alert> takeAlerts() = 0;
+
+  /// Pooling variant of takeAlerts(): appends the pending alerts to `out`
+  /// (same order) and clears the internal buffer while keeping its capacity,
+  /// so the steady-state alert path stops allocating. The Pipeline always
+  /// drains through this entry point with a per-shard scratch vector.
+  virtual void drainAlerts(std::vector<ids::Alert>& out) {
+    std::vector<ids::Alert> fresh = takeAlerts();
+    for (ids::Alert& a : fresh) out.push_back(std::move(a));
+  }
 
   /// Completeness promise for the merge stage: no alert returned by a
   /// *future* takeAlerts() will carry time < watermark().

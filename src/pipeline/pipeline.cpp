@@ -69,7 +69,8 @@ bool Pipeline::enqueue(const net::CapturedPacket& pkt) {
     }
     detBatch_.clear();
     shard.ring.popBatch(detBatch_, 1);
-    shard.engine->onPacket(detBatch_[0].value);
+    const net::CapturedPacket* one = &detBatch_[0].value;
+    shard.engine->onBatch(&one, 1);
     syncShardKnowledge(idx, /*force=*/false);
     collectFrom(idx, /*shardDone=*/false);
     return true;
@@ -113,14 +114,19 @@ void Pipeline::workerMain(std::size_t shardIdx) {
   shard.engine = factory_(shardIdx);
   std::vector<PacketRing::Item> batch;
   batch.reserve(options_.maxBatch);
+  std::vector<const net::CapturedPacket*> pkts;
+  pkts.reserve(options_.maxBatch);
   std::uint64_t batches = 0;
   for (;;) {
     batch.clear();
     const std::size_t n = shard.ring.popBatch(batch, options_.maxBatch);
     if (n == 0) break;  // closed and drained
-    for (const PacketRing::Item& item : batch) {
-      shard.engine->onPacket(item.value);
-    }
+    // Hand the whole dequeue to the engine at once: the Items own the
+    // capture buffers for the duration of the call, so a zero-copy engine
+    // can dissect in place against its batch arena.
+    pkts.clear();
+    for (const PacketRing::Item& item : batch) pkts.push_back(&item.value);
+    shard.engine->onBatch(pkts.data(), pkts.size());
     syncShardKnowledge(shardIdx, /*force=*/false);
     collectFrom(shardIdx, /*shardDone=*/false);
     // Injected slow-consumer stall (chaos): sleep after every Nth batch so
@@ -179,12 +185,17 @@ void Pipeline::syncShardKnowledge(std::size_t shardIdx, bool force) {
 
 void Pipeline::collectFrom(std::size_t shardIdx, bool shardDone) {
   Shard& shard = *shards_[shardIdx];
-  merge_.offer(shardIdx, shard.engine->takeAlerts(), shard.engine->watermark(),
+  // Pooled drain: the scratch vector (and the engine's internal buffer)
+  // keep their capacity across batches, so a quiet batch costs zero
+  // allocations here.
+  shard.alertScratch.clear();
+  shard.engine->drainAlerts(shard.alertScratch);
+  merge_.offer(shardIdx, shard.alertScratch, shard.engine->watermark(),
                shardDone);
 }
 
 void Pipeline::MergeStage::offer(std::size_t shard,
-                                 std::vector<ids::Alert> alerts,
+                                 std::vector<ids::Alert>& alerts,
                                  SimTime shardWatermark, bool shardDone) {
   std::lock_guard<std::mutex> lock(mu);
   for (ids::Alert& alert : alerts) {

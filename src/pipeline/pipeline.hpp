@@ -157,29 +157,6 @@ class Pipeline {
     return exchange_ ? exchange_->appliedWatermark(shard) : 0;
   }
 
-  // --- legacy per-counter getters (prefer stats()) ----------------------------
-  [[deprecated("use stats().enqueued")]] std::uint64_t enqueued() const {
-    return stats().enqueued;
-  }
-  [[deprecated("use stats().processed")]] std::uint64_t processed() const {
-    return stats().processed;
-  }
-  [[deprecated("use stats().droppedNewest")]] std::uint64_t droppedNewest()
-      const {
-    return stats().droppedNewest;
-  }
-  [[deprecated("use stats().droppedOldest")]] std::uint64_t droppedOldest()
-      const {
-    return stats().droppedOldest;
-  }
-  [[deprecated("use stats().dropped()")]] std::uint64_t dropped() const {
-    return stats().dropped();
-  }
-  [[deprecated("use stats().blockedPushes")]] std::uint64_t blockedPushes()
-      const {
-    return stats().blockedPushes;
-  }
-
   /// Appends pipeline + per-shard ring metrics under `prefix`
   /// (e.g. "pipeline"). Call while quiescent (before start or after stop).
   void collectMetrics(obs::Registry& reg, const std::string& prefix) const;
@@ -194,6 +171,8 @@ class Pipeline {
     SimTime lastKnowledgeSync = 0;
     /// Engine's final collective view, captured just before teardown.
     std::vector<ids::Knowgget> finalKnowledge;
+    /// Reused drain buffer for collectFrom (owning worker only).
+    std::vector<ids::Alert> alertScratch;
   };
 
   /// Timestamp-ordered, watermark-gated alert merge.
@@ -215,7 +194,9 @@ class Pipeline {
     std::vector<ids::Alert> emitted;
     std::function<void(const ids::Alert&)> sink;
 
-    void offer(std::size_t shard, std::vector<ids::Alert> alerts,
+    /// Moves the drained alerts into the heap; `alerts` is left with moved-
+    /// from elements (the caller clears and reuses it — pooled scratch).
+    void offer(std::size_t shard, std::vector<ids::Alert>& alerts,
                SimTime shardWatermark, bool shardDone);
 
    private:

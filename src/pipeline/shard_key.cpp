@@ -16,11 +16,6 @@ std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
   return h;
 }
 
-std::uint64_t hashRange(std::uint8_t salt, const std::uint8_t* data,
-                        std::size_t len) {
-  return fnv1a(fnv1a(kFnvOffset, &salt, 1), data, len);
-}
-
 /// WiFi: fc(2) | duration(2) | addr1(6) | addr2(6) | addr3(6) | seqctl(2).
 /// The logical source follows decodeWifi: station->AP data uses addr2,
 /// AP->station data uses addr3, everything else (management, neither-DS
@@ -49,7 +44,7 @@ bool wpanSource(const net::CapturedPacket& pkt, const std::uint8_t*& addr) {
   return true;
 }
 
-/// BLE advertising: header(1) | length(1) | advAddr(6) | advData.
+/// BLE advertising: header(1) | length(1) | advAddr(6, reversed) | advData.
 bool bleSource(const net::CapturedPacket& pkt, const std::uint8_t*& addr) {
   if (pkt.raw.size() < 8) return false;
   addr = pkt.raw.data() + 2;
@@ -58,21 +53,42 @@ bool bleSource(const net::CapturedPacket& pkt, const std::uint8_t*& addr) {
 
 }  // namespace
 
-std::uint64_t sourceShardKey(const net::CapturedPacket& pkt) {
-  const std::uint8_t salt = static_cast<std::uint8_t>(pkt.medium);
+net::EntityRef peekLinkSource(const net::CapturedPacket& pkt) {
   const std::uint8_t* addr = nullptr;
   switch (pkt.medium) {
     case net::Medium::kWifi:
-      if (wifiSource(pkt, addr)) return hashRange(salt, addr, 6);
+      if (wifiSource(pkt, addr)) {
+        net::Mac48 a;
+        for (std::size_t i = 0; i < 6; ++i) a.bytes[i] = addr[i];
+        return net::EntityRef::of(a);
+      }
       break;
     case net::Medium::kIeee802154:
-      if (wpanSource(pkt, addr)) return hashRange(salt, addr, 2);
+      if (wpanSource(pkt, addr)) {
+        // src16 is little-endian on the wire.
+        return net::EntityRef::of(net::Mac16{
+            static_cast<std::uint16_t>(addr[0] | (addr[1] << 8))});
+      }
       break;
     case net::Medium::kBluetooth:
-      if (bleSource(pkt, addr)) return hashRange(salt, addr, 6);
+      if (bleSource(pkt, addr)) {
+        // The advertising address is transmitted in reversed byte order.
+        net::Mac48 a;
+        for (std::size_t i = 0; i < 6; ++i) a.bytes[i] = addr[5 - i];
+        return net::EntityRef::of(a);
+      }
       break;
   }
-  return hashRange(salt, pkt.raw.data(), pkt.raw.size());
+  return net::EntityRef::none();
+}
+
+std::uint64_t sourceShardKey(const net::CapturedPacket& pkt) {
+  const net::EntityRef src = peekLinkSource(pkt);
+  if (src.valid()) return src.key();
+  // Unparseable frame: hash the whole buffer (medium-salted) so garbage
+  // still lands deterministically on some shard.
+  const std::uint8_t salt = static_cast<std::uint8_t>(pkt.medium);
+  return fnv1a(fnv1a(kFnvOffset, &salt, 1), pkt.raw.data(), pkt.raw.size());
 }
 
 std::size_t shardOf(const net::CapturedPacket& pkt, std::size_t shardCount) {

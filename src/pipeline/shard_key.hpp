@@ -14,12 +14,19 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "net/entity_ref.hpp"
 #include "net/packet.hpp"
 
 namespace kalis::pipeline {
 
-/// 64-bit FNV-1a hash of the link-layer source (medium-salted); packets
-/// with equal Dissection::linkSource() yield equal keys.
+/// Link-layer source identity peeked from the fixed header offsets, without
+/// dissecting. Equals Dissection::linkSourceRef() on every frame the
+/// dissector can parse; EntityRef::none() when the frame is unrecognizable.
+net::EntityRef peekLinkSource(const net::CapturedPacket& pkt);
+
+/// 64-bit shard-routing key: EntityRef::key() of the peeked link-layer
+/// source, so packets with equal Dissection::linkSourceRef() yield equal
+/// keys. Unparseable frames fall back to an FNV-1a hash of the raw buffer.
 std::uint64_t sourceShardKey(const net::CapturedPacket& pkt);
 
 /// Shard index for a packet: sourceShardKey(pkt) % shardCount (0 when

@@ -43,7 +43,8 @@ trace::Trace captureTrace(std::uint64_t seed, bool withAttack,
 
   trace::Trace captured;
   world.addSniffer(home.ids, net::Medium::kWifi,
-                   [&](const net::CapturedPacket& pkt) {
+                   [&](const net::CapturedPacket& pkt,
+                       const net::Dissection& /*dis*/) {
                      captured.push_back(pkt);
                    });
   const auto chaosGuard = chaos::installFaultPlan(world, plan);

@@ -48,10 +48,12 @@ void IdsHarness::attach(sim::World& world, NodeId nodeId,
   }
   for (net::Medium medium : media) {
     world.enableRadio(nodeId, medium);
-    world.addSniffer(nodeId, medium, [this](const net::CapturedPacket& pkt) {
-      ++snortPacketsSeen_;
-      snortEngine_->onPacket(pkt);
-    });
+    world.addSniffer(nodeId, medium,
+                     [this](const net::CapturedPacket& pkt,
+                            const net::Dissection& dis) {
+                       ++snortPacketsSeen_;
+                       snortEngine_->onPacket(pkt, dis);
+                     });
   }
 }
 

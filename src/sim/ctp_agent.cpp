@@ -123,7 +123,7 @@ void CtpAgent::onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
 
   if (dissection.ctpData && dissection.wpan &&
       dissection.wpan->dst == node.mac16()) {
-    const net::CtpData& data = *dissection.ctpData;
+    const net::CtpDataView& data = *dissection.ctpData;
     if (config_.isRoot) {
       ++stats_.dataDelivered;
       ++stats_.deliveredByOrigin[data.origin.value];
@@ -138,7 +138,7 @@ void CtpAgent::onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
       ++stats_.dataDropped;
       return;
     }
-    net::CtpData fwd = data;
+    net::CtpData fwd = net::toOwned(data);
     fwd.thl = static_cast<std::uint8_t>(data.thl + 1);
     fwd.etx = etx_;
     if (policy_) {

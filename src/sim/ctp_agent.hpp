@@ -45,7 +45,7 @@ class CtpAgent : public Behavior {
     virtual ~ForwardPolicy() = default;
     /// Return false to silently drop the packet instead of forwarding.
     /// `node` allows active policies (e.g. wormhole tunneling) to act.
-    virtual bool shouldForward(NodeHandle& node, const net::CtpData& data) {
+    virtual bool shouldForward(NodeHandle& node, const net::CtpDataView& data) {
       (void)node;
       (void)data;
       return true;
@@ -53,7 +53,7 @@ class CtpAgent : public Behavior {
     /// Return a replacement payload to tamper with the forwarded packet
     /// (data-alteration attack); nullopt forwards faithfully.
     virtual std::optional<Bytes> rewritePayload(NodeHandle& node,
-                                                const net::CtpData& data) {
+                                                const net::CtpDataView& data) {
       (void)node;
       (void)data;
       return std::nullopt;

@@ -54,9 +54,12 @@ void InternetCloud::deliverFromLocal(const net::Ipv4Header& ip, BytesView l4) {
     // The handler runs after the WAN latency, at the "cloud".
     net::Ipv4Header ipCopy = ip;
     auto handler = host.handler;
-    auto tcpSeg = tcp ? std::optional(tcp->segment) : std::nullopt;
-    auto udpDg = udp ? std::optional(udp->datagram) : std::nullopt;
-    auto icmpMsg = icmp ? std::optional(icmp->message) : std::nullopt;
+    auto tcpSeg = tcp ? std::optional(net::toOwned(tcp->segment))
+                      : std::nullopt;
+    auto udpDg =
+        udp ? std::optional(net::toOwned(udp->datagram)) : std::nullopt;
+    auto icmpMsg =
+        icmp ? std::optional(net::toOwned(icmp->message)) : std::nullopt;
     world_->sim().schedule(latency_, [handler, ipCopy, tcpSeg, udpDg, icmpMsg] {
       handler(ipCopy, tcpSeg ? &*tcpSeg : nullptr, udpDg ? &*udpDg : nullptr,
               icmpMsg ? &*icmpMsg : nullptr);
@@ -310,14 +313,14 @@ void IpHostAgent::onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
     pong.type = net::IcmpType::kEchoReply;
     pong.identifier = dissection.icmp->identifier;
     pong.sequence = dissection.icmp->sequence;
-    pong.payload = dissection.icmp->payload;
+    pong.payload = toBytes(dissection.icmp->payload);
     transmitIp(node, reply, BytesView(pong.encode()));
     ++stats_.pingsAnswered;
     return;
   }
 
   if (!dissection.tcp) return;
-  const net::TcpSegment& seg = *dissection.tcp;
+  const net::TcpSegmentView& seg = *dissection.tcp;
 
   // Server side: open ports answer SYNs.
   if (seg.flags.isSynOnly()) {

@@ -121,7 +121,7 @@ void SixlowpanAgent::onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
       ++stats_.echoAnswered;
       net::Icmpv6Message reply;
       reply.type = net::Icmpv6Type::kEchoReply;
-      reply.body = dis.icmpv6->body;
+      reply.body = toBytes(dis.icmpv6->body);
       const net::Ipv6Addr src = node.ipv6();
       auto dstShort = ip.src.embeddedShort();
       if (!dstShort) return;

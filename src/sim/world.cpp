@@ -217,10 +217,14 @@ void World::deliver(NodeId from, net::Medium medium, const Bytes& frame) {
   const int channel = sender.radios[mindex(medium)].config.channel;
   const PropagationModel& prop = propagation_[mindex(medium)];
 
-  // One dissection per transmission: used for receiver address filtering and
-  // shared with every accepting behavior.
-  net::CapturedPacket probe{medium, frame, net::RxMeta{}};
-  const net::Dissection dis = net::dissect(probe);
+  // One capture buffer and one dissection per transmission, shared by every
+  // sniffer and accepting behavior; only the receive metadata varies per
+  // receiver. The dissection's views alias pkt.raw, which is never touched
+  // again after this point.
+  net::CapturedPacket pkt;
+  pkt.medium = medium;
+  pkt.raw = frame;
+  const net::Dissection dis = net::dissect(pkt);
 
   for (NodeId to = 0; to < nodes_.size(); ++to) {
     if (to == from) continue;
@@ -243,9 +247,6 @@ void World::deliver(NodeId from, net::Medium medium, const Bytes& frame) {
       continue;
     }
 
-    net::CapturedPacket pkt;
-    pkt.medium = medium;
-    pkt.raw = frame;
     pkt.meta.timestamp = sim_.now();
     pkt.meta.rssiDbm = rssi;
     pkt.meta.channel = channel;
@@ -255,7 +256,7 @@ void World::deliver(NodeId from, net::Medium medium, const Bytes& frame) {
     for (auto& sniffer : receiver.sniffers[mindex(medium)]) {
       pkt.meta.captureSeq = sniffer.captureSeq++;
       ++counters_.framesSniffed;
-      sniffer.callback(pkt);
+      sniffer.callback(pkt, dis);
     }
 
     // Behaviors get only frames their radio would accept: addressed to this

@@ -77,7 +77,12 @@ class Behavior {
                        const net::Dissection& /*dissection*/) {}
 };
 
-using SnifferCallback = std::function<void(const net::CapturedPacket&)>;
+/// Promiscuous capture callback. The Dissection is produced exactly once per
+/// transmission and shared by every sniffer and behavior; its views alias
+/// the CapturedPacket passed alongside it and are valid only for the
+/// duration of the call (copy with toBytes()/the packet itself to retain).
+using SnifferCallback =
+    std::function<void(const net::CapturedPacket&, const net::Dissection&)>;
 
 /// Chaos seam (src/chaos): consulted once per transmission and once per
 /// candidate receiver. A default-constructed fault (no drop, no duplicate,

@@ -93,7 +93,7 @@ void ZigbeeAgent::onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
                           const net::Dissection& dissection) {
   (void)pkt;
   if (!dissection.zigbee || !dissection.wpan) return;
-  const net::ZigbeeNwkFrame& nwk = *dissection.zigbee;
+  const net::ZigbeeNwkFrameView& nwk = *dissection.zigbee;
 
   if (nwk.dst == node.mac16() || nwk.dst.isBroadcast()) {
     // Consume.
@@ -129,7 +129,7 @@ void ZigbeeAgent::onFrame(NodeHandle& node, const net::CapturedPacket& pkt,
     ++stats_.droppedByPolicy;
     return;
   }
-  net::ZigbeeNwkFrame fwd = nwk;
+  net::ZigbeeNwkFrame fwd = net::toOwned(nwk);
   fwd.radius = static_cast<std::uint8_t>(nwk.radius - 1);
   transmitNwk(node, fwd, routeTo(nwk.dst));
   ++stats_.relayed;

@@ -35,7 +35,7 @@ class ZigbeeAgent : public Behavior {
     virtual ~RelayPolicy() = default;
     /// Return false to drop instead of relaying. Active policies (wormhole)
     /// may transmit elsewhere through `node`/the world before returning.
-    virtual bool shouldRelay(NodeHandle& node, const net::ZigbeeNwkFrame& nwk) {
+    virtual bool shouldRelay(NodeHandle& node, const net::ZigbeeNwkFrameView& nwk) {
       (void)node;
       (void)nwk;
       return true;

@@ -147,6 +147,10 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+/// Materializes a view into an owning vector (the explicit copy point for
+/// code that must outlive a zero-copy dissection).
+inline Bytes toBytes(BytesView v) { return Bytes(v.begin(), v.end()); }
+
 /// Renders bytes as lowercase hex ("de:ad:be:ef" style without separators).
 std::string toHex(BytesView data);
 

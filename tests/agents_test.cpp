@@ -55,7 +55,7 @@ TEST_F(CtpFixture, IntermediateMotesForward) {
 
 TEST_F(CtpFixture, ForwardPolicyDropsCountAgainstDelivery) {
   struct DropAll : CtpAgent::ForwardPolicy {
-    bool shouldForward(NodeHandle&, const net::CtpData&) override {
+    bool shouldForward(NodeHandle&, const net::CtpDataView&) override {
       return false;
     }
   };
@@ -72,8 +72,8 @@ TEST_F(CtpFixture, ForwardPolicyDropsCountAgainstDelivery) {
 TEST_F(CtpFixture, RewritePolicyAltersForwardedPayload) {
   struct FlipFirst : CtpAgent::ForwardPolicy {
     std::optional<Bytes> rewritePayload(NodeHandle&,
-                                        const net::CtpData& data) override {
-      Bytes out = data.payload;
+                                        const net::CtpDataView& data) override {
+      Bytes out = toBytes(data.payload);
       if (!out.empty()) out[0] ^= 0xff;
       return out;
     }
@@ -87,13 +87,13 @@ TEST_F(CtpFixture, RewritePolicyAltersForwardedPayload) {
                     scenarios::idsWideRadio());
   const std::string tamperer = net::toString(world.mac16Of(wsn.motes[0]));
   world.addSniffer(sniffer, net::Medium::kIeee802154,
-                   [&](const net::CapturedPacket& pkt) {
-                     const auto d = net::dissect(pkt);
+                   [&](const net::CapturedPacket& /*pkt*/,
+                       const net::Dissection& d) {
                      // Only the tampering relay's own forwards are altered;
                      // honest relays downstream forward faithfully.
                      if (d.ctpData && d.ctpData->thl > 0 &&
                          d.linkSource() == tamperer) {
-                       atRoot.push_back(d.ctpData->payload);
+                       atRoot.push_back(toBytes(d.ctpData->payload));
                      }
                    });
   world.start();
@@ -222,8 +222,8 @@ TEST(BleDevice, AdvertisesPeriodically) {
   world.enableRadio(ids, net::Medium::kBluetooth);
   std::size_t advsSeen = 0;
   world.addSniffer(ids, net::Medium::kBluetooth,
-                   [&](const net::CapturedPacket& pkt) {
-                     const auto d = net::dissect(pkt);
+                   [&](const net::CapturedPacket& /*pkt*/,
+                       const net::Dissection& d) {
                      if (d.type == net::PacketType::kBleAdv) ++advsSeen;
                    });
   world.start();

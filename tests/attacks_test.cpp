@@ -15,12 +15,18 @@ namespace {
 
 /// Captures everything on one medium at a fixed observation point.
 struct Capture {
+  // Dissections are views: each aliases the owned copy of its frame in
+  // `frames` (Bytes buffers stay put when the vector reallocates).
+  std::vector<net::CapturedPacket> frames;
   std::vector<net::Dissection> packets;
 
   void attach(sim::World& world, NodeId node, net::Medium medium) {
-    world.addSniffer(node, medium, [this](const net::CapturedPacket& pkt) {
-      packets.push_back(net::dissect(pkt));
-    });
+    world.addSniffer(node, medium,
+                     [this](const net::CapturedPacket& pkt,
+                            const net::Dissection& /*dis*/) {
+                       frames.push_back(pkt);
+                       packets.push_back(net::dissect(frames.back()));
+                     });
   }
 
   std::size_t count(net::PacketType type) const {
@@ -282,7 +288,10 @@ TEST_F(AttackFixture, WormholePolicyTunnelsToPeer) {
   nwk.seq = 42;
   nwk.payload = {net::kZigbeeAppCommand, 1, 2, 3};
   sim::NodeHandle handle = world.handle(b1);
-  EXPECT_FALSE(policy->shouldRelay(handle, nwk));  // B1 drops...
+  const Bytes nwkRaw = nwk.encode();
+  const auto nwkView = net::decodeZigbeeNwk(BytesView(nwkRaw));
+  ASSERT_TRUE(nwkView.has_value());
+  EXPECT_FALSE(policy->shouldRelay(handle, *nwkView));  // B1 drops...
   simulator.runUntil(seconds(1));
 
   // ...and B2 re-emits the identical NWK frame under its own link identity.
@@ -292,7 +301,7 @@ TEST_F(AttackFixture, WormholePolicyTunnelsToPeer) {
     EXPECT_EQ(d.linkSource(), net::toString(world.mac16Of(b2)));
     EXPECT_EQ(d.zigbee->src, net::Mac16{0x0001});
     EXPECT_EQ(d.zigbee->seq, 42);
-    EXPECT_EQ(d.zigbee->payload, nwk.payload);
+    EXPECT_EQ(toBytes(d.zigbee->payload), nwk.payload);
   }
   EXPECT_EQ(policy->tunneled(), 1u);
   EXPECT_EQ(truth.size(), 1u);

@@ -432,7 +432,8 @@ trace::Trace captureAttackTrace(std::uint64_t seed) {
 
   trace::Trace captured;
   world.addSniffer(home.ids, net::Medium::kWifi,
-                   [&](const net::CapturedPacket& pkt) {
+                   [&](const net::CapturedPacket& pkt,
+                       const net::Dissection& /*dis*/) {
                      captured.push_back(pkt);
                    });
   world.start();

@@ -232,24 +232,31 @@ TEST(PipelineShardKey, AgreesWithDissectionLinkSource) {
   for (std::uint16_t src : {0x0002, 0x0007}) pkts.push_back(wpanFrom(src, seconds(1)));
   for (std::uint8_t tag : {0x41, 0x42}) pkts.push_back(bleFrom(tag, seconds(1)));
 
-  // Same dissected link source <=> same shard key.
+  // The peeked source must be the exact same identity the full dissector
+  // reports, and the shard key must be its EntityRef::key() — not merely
+  // consistent, but byte-for-byte the same routing identity.
   std::map<std::string, std::uint64_t> keyBySource;
   for (const auto& pkt : pkts) {
-    const std::string source = net::dissect(pkt).linkSource();
-    ASSERT_NE(source, "?");
+    const net::EntityRef dissected = net::dissect(pkt).linkSourceRef();
+    ASSERT_TRUE(dissected.valid());
+    const net::EntityRef peeked = pipeline::peekLinkSource(pkt);
+    EXPECT_EQ(peeked, dissected) << "peeked " << peeked.toString()
+                                 << " != dissected " << dissected.toString();
     const std::uint64_t key = pipeline::sourceShardKey(pkt);
-    auto [it, inserted] = keyBySource.emplace(source, key);
-    EXPECT_EQ(it->second, key) << "source " << source;
+    EXPECT_EQ(key, dissected.key());
+    auto [it, inserted] = keyBySource.emplace(dissected.toString(), key);
+    EXPECT_EQ(it->second, key) << "source " << it->first;
   }
   // Distinct sources should not all collapse onto one key.
   std::set<std::uint64_t> distinct;
   for (const auto& [src, key] : keyBySource) distinct.insert(key);
   EXPECT_GT(distinct.size(), keyBySource.size() / 2);
 
-  // Garbage frames still route deterministically.
+  // Garbage frames have no peekable source but still route deterministically.
   net::CapturedPacket garbage;
   garbage.medium = net::Medium::kWifi;
   garbage.raw = {0x01, 0x02, 0x03};
+  EXPECT_FALSE(pipeline::peekLinkSource(garbage).valid());
   EXPECT_EQ(pipeline::sourceShardKey(garbage),
             pipeline::sourceShardKey(garbage));
 }
@@ -458,7 +465,8 @@ trace::Trace captureAttackTrace(std::uint64_t seed) {
 
   trace::Trace captured;
   world.addSniffer(home.ids, net::Medium::kWifi,
-                   [&](const net::CapturedPacket& pkt) {
+                   [&](const net::CapturedPacket& pkt,
+                       const net::Dissection& /*dis*/) {
                      captured.push_back(pkt);
                    });
   world.start();

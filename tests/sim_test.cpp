@@ -224,7 +224,8 @@ TEST_F(WorldFixture, SniffersSeeForeignUnicast) {
   const NodeId ids = addRadioNode("ids", {2, 2});
   std::vector<net::CapturedPacket> sniffed;
   world.addSniffer(ids, net::Medium::kIeee802154,
-                   [&](const net::CapturedPacket& pkt) { sniffed.push_back(pkt); });
+                   [&](const net::CapturedPacket& pkt,
+                       const net::Dissection&) { sniffed.push_back(pkt); });
   world.start();
   world.send(a, net::Medium::kIeee802154,
              makeFrame(world.mac16Of(a), world.mac16Of(b)).encode());
@@ -233,6 +234,40 @@ TEST_F(WorldFixture, SniffersSeeForeignUnicast) {
   EXPECT_EQ(sniffed[0].meta.capturedBy, ids);
   EXPECT_LT(sniffed[0].meta.rssiDbm, 0.0);
   EXPECT_GT(sniffed[0].meta.timestamp, 0u);  // airtime elapsed
+}
+
+TEST_F(WorldFixture, CapturePathDissectsEachFrameAtMostOnce) {
+  // The zero-copy capture path shares one Dissection per transmission across
+  // every sniffer and behavior (world.cpp deliver()). Guard the invariant
+  // with the process-wide dissect() counter: even with multiple listeners,
+  // the delta stays <= one dissection per frame sent.
+  const NodeId a = addRadioNode("a", {0, 0});
+  const NodeId b = addRadioNode("b", {5, 0});
+  const NodeId ids1 = addRadioNode("ids1", {2, 2});
+  const NodeId ids2 = addRadioNode("ids2", {3, 1});
+  std::size_t sniffed = 0;
+  for (NodeId watcher : {ids1, ids2}) {
+    world.addSniffer(watcher, net::Medium::kIeee802154,
+                     [&](const net::CapturedPacket&,
+                         const net::Dissection& d) {
+                       // The shared dissection is usable as-is; no re-parse.
+                       EXPECT_TRUE(d.wpan.has_value());
+                       ++sniffed;
+                     });
+  }
+  world.start();
+
+  constexpr int kFrames = 16;
+  const std::uint64_t before = net::dissectCallCount();
+  for (int i = 0; i < kFrames; ++i) {
+    world.send(a, net::Medium::kIeee802154,
+               makeFrame(world.mac16Of(a), world.mac16Of(b)).encode());
+    simulator.runUntil(simulator.now() + seconds(1));
+  }
+  const std::uint64_t delta = net::dissectCallCount() - before;
+
+  EXPECT_EQ(sniffed, 2u * kFrames);  // both sniffers heard every frame
+  EXPECT_LE(delta, static_cast<std::uint64_t>(kFrames));
 }
 
 TEST_F(WorldFixture, RevokedNodesNeitherSendNorReceive) {
