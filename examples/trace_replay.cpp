@@ -28,6 +28,7 @@
 //
 //   ./trace_replay [seed] [--pipeline] [--workers N] [--kb-sync MS]
 //                  [--chaos PLAN | --chaos-diff PLAN]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -226,7 +227,13 @@ int main(int argc, char** argv) {
                 pipe.shardCount(), pipe.shardCount() == 1 ? "" : "s",
                 kbSync ? ", knowledge exchange on" : "");
     pipe.start();
-    for (const net::CapturedPacket& pkt : reloaded.packets) pipe.enqueue(pkt);
+    // Batched producer path: one ring lock + at most one worker wake-up per
+    // shard per chunk (deterministic mode processes inline, bit-identical).
+    constexpr std::size_t kChunk = 1024;
+    for (std::size_t i = 0; i < reloaded.packets.size(); i += kChunk) {
+      const std::size_t n = std::min(kChunk, reloaded.packets.size() - i);
+      pipe.enqueueBatch(reloaded.packets.data() + i, n);
+    }
     pipe.stop();
 
     const auto eval = metrics::evaluate(truth, pipe.alerts());

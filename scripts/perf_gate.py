@@ -20,6 +20,15 @@ When the baseline was recorded on a machine with a different
 hardware_concurrency the pps comparison is apples-to-oranges; the gate
 widens the tolerance to --cross-machine-tolerance (default 35%) and says
 so, rather than silently passing or spuriously failing.
+
+Multi-core scaling gate (--min-scaling-efficiency): additionally require
+the current run's N-worker, exchange-off pipeline row (N =
+--scaling-workers, default 4) to reach at least the given speedup over the
+synchronous path. This is an absolute threshold on the *current* machine,
+not a baseline diff, and it only makes sense on hardware with at least N
+cores — on smaller runners it is skipped with a notice (core counts are
+recorded in the BENCH JSON precisely so multi-core expectations are never
+held against single-core runs).
 """
 
 import argparse
@@ -56,6 +65,36 @@ def collect_runs(doc):
             yield run_identity(run), "wall_sec", float(run["wall_sec"]), False
 
 
+def scaling_gate(cur_doc, workers, threshold):
+    """Absolute multi-core scaling check on the current run.
+
+    Returns a list of failure identities (empty on pass/skip). Skips with a
+    notice when the runner has fewer cores than `workers` — a single-core
+    machine cannot beat its own synchronous path and the BENCH JSON records
+    hardware_concurrency exactly so this gate never compares across unlike
+    machines.
+    """
+    cores = cur_doc.get("hardware_concurrency")
+    if cores is None or cores < workers:
+        print(f"perf_gate: SKIP scaling gate — runner has "
+              f"{cores if cores is not None else 'unknown'} core(s), "
+              f"needs >= {workers}")
+        return []
+    for run in cur_doc.get("runs", []):
+        if run.get("workers") != workers or run.get("exchange") is not False:
+            continue
+        speedup = float(run.get("speedup", 0.0))
+        ok = speedup >= threshold
+        print(f"perf_gate: {'ok   ' if ok else 'FAIL '}scaling "
+              f"{run_identity(run)}: speedup vs synchronous "
+              f"{speedup:.2f}x (need >= {threshold:.2f}x on "
+              f"{cores} cores)")
+        return [] if ok else [f"scaling {run_identity(run)}"]
+    print(f"perf_gate: FAIL scaling — no exchange-off run with "
+          f"workers={workers} in current JSON", file=sys.stderr)
+    return [f"scaling workers={workers} missing"]
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
@@ -64,6 +103,12 @@ def main():
                     help="max fractional regression before failing (0.10 = 10%%)")
     ap.add_argument("--cross-machine-tolerance", type=float, default=0.35,
                     help="tolerance when hardware_concurrency differs")
+    ap.add_argument("--min-scaling-efficiency", type=float, default=None,
+                    help="minimum speedup (pps vs synchronous) required of "
+                         "the --scaling-workers exchange-off pipeline run; "
+                         "skipped when the runner has fewer cores than that")
+    ap.add_argument("--scaling-workers", type=int, default=4,
+                    help="worker count the scaling gate inspects (default 4)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -102,6 +147,10 @@ def main():
               f"{value:g} ({change:+.1%})")
         if regressed:
             failures.append(ident)
+
+    if args.min_scaling_efficiency is not None:
+        failures += scaling_gate(cur_doc, args.scaling_workers,
+                                 args.min_scaling_efficiency)
 
     if compared == 0:
         print("perf_gate: no comparable runs found — baseline and current "

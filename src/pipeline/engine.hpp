@@ -36,7 +36,11 @@ class PacketEngine {
   }
 
   /// Returns (and clears) the alerts raised since the previous call, in
-  /// nondecreasing Alert::time order.
+  /// nondecreasing Alert::time order. Together with the watermark()
+  /// promise below this makes the shard's alert stream sorted *across*
+  /// calls too — each drain continues a single nondecreasing run — which
+  /// the pipeline's merge stage relies on to treat per-shard buffers as
+  /// pre-sorted runs instead of re-heapifying every alert.
   virtual std::vector<ids::Alert> takeAlerts() = 0;
 
   /// Pooling variant of takeAlerts(): appends the pending alerts to `out`

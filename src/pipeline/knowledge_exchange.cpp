@@ -78,7 +78,14 @@ bool KnowledgeExchange::allFinished() const {
   return finishedCount_ >= inboxes_.size();
 }
 
+void KnowledgeExchange::waitAllFinished() const {
+  finishWaits_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(finishMu_);
+  finishedCv_.wait(lock, [this] { return finishedCount_ >= inboxes_.size(); });
+}
+
 bool KnowledgeExchange::waitAllFinished(std::chrono::milliseconds timeout) const {
+  finishWaits_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(finishMu_);
   return finishedCv_.wait_for(
       lock, timeout, [this] { return finishedCount_ >= inboxes_.size(); });
@@ -111,6 +118,7 @@ KnowledgeExchange::Stats KnowledgeExchange::stats() const {
   s.applied = applied_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.droppedInFlight = droppedInFlight_.load(std::memory_order_relaxed);
+  s.finishWaits = finishWaits_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -122,6 +130,7 @@ void KnowledgeExchange::collectMetrics(obs::Registry& reg,
   reg.counter(prefix + ".applied", s.applied);
   reg.counter(prefix + ".rejected", s.rejected);
   reg.counter(prefix + ".dropped_in_flight", s.droppedInFlight);
+  reg.counter(prefix + ".finish_waits", s.finishWaits);
   for (std::size_t i = 0; i < inboxes_.size(); ++i) {
     inboxes_[i]->collectMetrics(reg,
                                 prefix + ".inbox." + std::to_string(i));

@@ -69,6 +69,10 @@ class KnowledgeExchange {
     std::uint64_t applied = 0;     ///< putRemote accepted on a receiver
     std::uint64_t rejected = 0;    ///< one-way rule / impersonation refusals
     std::uint64_t droppedInFlight = 0;  ///< evicted by inbox overflow
+    /// waitAllFinished calls (both flavors). The shutdown rendezvous is a
+    /// single predicate wait per worker, so this stays <= shard count — a
+    /// regression here means somebody reintroduced a finish-poll loop.
+    std::uint64_t finishWaits = 0;
   };
 
   explicit KnowledgeExchange(Options options);
@@ -100,9 +104,14 @@ class KnowledgeExchange {
   void finishShard(std::size_t shard, std::vector<ids::Knowgget> finalOwn);
 
   bool allFinished() const;
-  /// Waits up to `timeout` for every shard to finish; returns allFinished().
-  /// Workers interleave this with drain() so late publishers never stall
-  /// the rendezvous.
+  /// Blocks until every shard has called finishShard() — one predicate wait
+  /// on the finish condvar, no polling. Safe because publish() never blocks
+  /// (drop-oldest inboxes): a late publisher cannot deadlock against parked
+  /// waiters, and anything its publishes evict in the meantime is repaired
+  /// by applyFinalFrom().
+  void waitAllFinished() const;
+  /// Bounded variant for tests/diagnostics: waits up to `timeout`, returns
+  /// allFinished(). Production shutdown uses the untimed overload above.
   bool waitAllFinished(std::chrono::milliseconds timeout) const;
 
   /// Applies every *other* shard's final collective set to `shard`, in
@@ -130,6 +139,7 @@ class KnowledgeExchange {
   std::atomic<std::uint64_t> applied_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> droppedInFlight_{0};
+  mutable std::atomic<std::uint64_t> finishWaits_{0};
 
   mutable std::mutex finishMu_;
   mutable std::condition_variable finishedCv_;

@@ -1,18 +1,12 @@
 #include "pipeline/pipeline.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 
 #include "util/log.hpp"
 
 namespace kalis::pipeline {
-
-bool Pipeline::MergeStage::Later::operator()(const Pending& a,
-                                             const Pending& b) const {
-  if (a.alert.time != b.alert.time) return a.alert.time > b.alert.time;
-  if (a.shard != b.shard) return a.shard > b.shard;
-  return a.seq > b.seq;
-}
 
 Pipeline::Pipeline(Options options, EngineFactory factory)
     : options_(options), factory_(std::move(factory)) {
@@ -22,9 +16,7 @@ Pipeline::Pipeline(Options options, EngineFactory factory)
   for (std::size_t i = 0; i < options_.workers; ++i) {
     shards_.push_back(std::make_unique<Shard>(options_.queueCapacity));
   }
-  merge_.watermark.assign(shards_.size(), 0);
-  merge_.done.assign(shards_.size(), 0);
-  merge_.nextSeq.assign(shards_.size(), 0);
+  merge_.init(shards_.size());
   if (options_.knowledgeExchange) {
     KnowledgeExchange::Options xo;
     xo.shards = shards_.size();
@@ -81,6 +73,33 @@ bool Pipeline::enqueue(const net::CapturedPacket& pkt) {
          r == PacketRing::PushResult::kDroppedOldest;
 }
 
+std::size_t Pipeline::enqueueBatch(const net::CapturedPacket* pkts,
+                                   std::size_t count) {
+  if (options_.deterministic) {
+    // Inline processing is inherently per-packet; keep it bit-identical.
+    std::size_t accepted = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (enqueue(pkts[i])) ++accepted;
+    }
+    return accepted;
+  }
+  // Group by shard, preserving arrival order within each group (stable
+  // bucket append), then push every group under one ring lock. Local
+  // buffers keep the call safe from any number of concurrent producers.
+  std::vector<std::vector<const net::CapturedPacket*>> groups(shards_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    groups[shardOf(pkts[i], shards_.size())].push_back(&pkts[i]);
+  }
+  std::size_t accepted = 0;
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    const PacketRing::BatchPushResult r = shards_[s]->ring.pushBatch(
+        groups[s].data(), groups[s].size(), options_.policy);
+    accepted += r.accepted;
+  }
+  return accepted;
+}
+
 void Pipeline::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
@@ -93,6 +112,7 @@ void Pipeline::stop() {
       // reconciliation protocol stay uniform with threaded mode.
       syncShardKnowledge(0, /*force=*/true);
       exchange_->finishShard(0, shard.engine->collectiveKnowledge(true));
+      exchange_->waitAllFinished();
       exchange_->applyFinalFrom(0, [&shard](const ids::Knowgget& k) {
         return shard.engine->applyRemoteKnowledge(k);
       });
@@ -141,17 +161,16 @@ void Pipeline::workerMain(std::size_t shardIdx) {
   shard.engine->finish();
   if (exchange_) {
     // Shutdown reconciliation (knowledge_exchange.hpp): flush our pending
-    // changes, deposit our final own collective set, then keep draining
-    // while the other shards reach the same point — a blocked wait here
-    // would strand their publishes. Once everyone finished, one last drain
-    // picks up all remaining in-flight items (each publish happened-before
-    // its shard's finishShard), and applying the final snapshots repairs
-    // anything the drop-oldest inboxes evicted.
+    // changes, deposit our final own collective set, then block until every
+    // shard has reached the same point. publish() never blocks (drop-oldest
+    // inboxes), so late publishers cannot deadlock against parked waiters;
+    // anything evicted from an inbox while we slept is repaired by the
+    // final-snapshot application below. One post-rendezvous drain picks up
+    // all remaining in-flight items (each publish happened-before its
+    // shard's finishShard).
     syncShardKnowledge(shardIdx, /*force=*/true);
     exchange_->finishShard(shardIdx, shard.engine->collectiveKnowledge(true));
-    while (!exchange_->waitAllFinished(std::chrono::milliseconds(1))) {
-      syncShardKnowledge(shardIdx, /*force=*/true);
-    }
+    exchange_->waitAllFinished();
     syncShardKnowledge(shardIdx, /*force=*/true);
     exchange_->applyFinalFrom(shardIdx, [&shard](const ids::Knowgget& k) {
       return shard.engine->applyRemoteKnowledge(k);
@@ -194,15 +213,60 @@ void Pipeline::collectFrom(std::size_t shardIdx, bool shardDone) {
                shardDone);
 }
 
+void Pipeline::MergeStage::init(std::size_t shards) {
+  runs.resize(shards);
+  done.assign(shards, 0);
+  watermark.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    watermark.push_back(std::make_unique<std::atomic<SimTime>>(0));
+  }
+}
+
 void Pipeline::MergeStage::offer(std::size_t shard,
                                  std::vector<ids::Alert>& alerts,
                                  SimTime shardWatermark, bool shardDone) {
-  std::lock_guard<std::mutex> lock(mu);
-  for (ids::Alert& alert : alerts) {
-    heap.push_back(Pending{std::move(alert), shard, nextSeq[shard]++});
-    std::push_heap(heap.begin(), heap.end(), MergeStage::Later{});
+  // The shard's worker is the only writer of its watermark slot, so a plain
+  // release store publishes it; flushers read with acquire under the lock.
+  std::atomic<SimTime>& wm = *watermark[shard];
+  if (alerts.empty()) {
+    // No withheld alerts from this shard, so publishing the watermark ahead
+    // of the lock is safe: the engine promises no future alert sorts below
+    // it. Quiet-batch fast path: nothing new here and nothing buffered
+    // anywhere means no flush can release an alert — skip the merge lock
+    // entirely. (If another shard buffers concurrently, its own offer
+    // flushes, and it either sees our watermark store or catches up on its
+    // next batch.)
+    if (shardWatermark > wm.load(std::memory_order_relaxed)) {
+      wm.store(shardWatermark, std::memory_order_release);
+    }
+    if (!shardDone && pending.load(std::memory_order_acquire) == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (shardDone) done[shard] = 1;
+    flushLocked();
+    return;
   }
-  if (shardWatermark > watermark[shard]) watermark[shard] = shardWatermark;
+  std::lock_guard<std::mutex> lock(mu);
+  ShardRun& dst = runs[shard];
+  // Engines emit alerts in nondecreasing time order (PacketEngine
+  // contract), which is what makes the run-merge equivalent to the old
+  // per-alert heap; cheap debug check at the batch seam.
+  assert(dst.empty() || dst.run.back().time <= alerts.front().time);
+  if (dst.empty() && !dst.run.empty()) {
+    dst.run.clear();  // fully released: recycle capacity
+    dst.head = 0;
+  }
+  for (ids::Alert& alert : alerts) {
+    assert(&alert == &alerts.front() || (&alert - 1)->time <= alert.time);
+    dst.run.push_back(std::move(alert));
+  }
+  pending.fetch_add(alerts.size(), std::memory_order_release);
+  // Publish the watermark only now that the alerts it vouches for are
+  // buffered. Storing it before the append would let a flusher already
+  // holding the lock treat this shard as having nothing below the new
+  // watermark and release another shard's later alert ahead of ours.
+  if (shardWatermark > wm.load(std::memory_order_relaxed)) {
+    wm.store(shardWatermark, std::memory_order_release);
+  }
   if (shardDone) done[shard] = 1;
   flushLocked();
 }
@@ -213,18 +277,32 @@ void Pipeline::MergeStage::flushLocked() {
   // watermark t may still emit alerts stamped exactly t).
   SimTime minLive = kSimTimeMax;
   bool allDone = true;
-  for (std::size_t i = 0; i < watermark.size(); ++i) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
     if (done[i]) continue;
     allDone = false;
-    minLive = std::min(minLive, watermark[i]);
+    minLive = std::min(minLive, watermark[i]->load(std::memory_order_acquire));
   }
-  while (!heap.empty() &&
-         (allDone || heap.front().alert.time < minLive)) {
-    std::pop_heap(heap.begin(), heap.end(), MergeStage::Later{});
-    Pending p = std::move(heap.back());
-    heap.pop_back();
-    emitted.push_back(p.alert);
+  std::uint64_t released = 0;
+  for (;;) {
+    // k-way merge step: smallest (time, shard) among the run heads. Within
+    // a shard the run is already (time, seq)-sorted, so this reproduces the
+    // old heap's (time, shard, seq) total order exactly.
+    ShardRun* best = nullptr;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      ShardRun& r = runs[i];
+      if (r.empty()) continue;
+      if (!best || r.front().time < best->front().time) best = &r;
+    }
+    if (!best) break;
+    if (!allDone && best->front().time >= minLive) break;
+    emitted.push_back(std::move(best->run[best->head]));
+    ++best->head;
+    ++released;
     if (sink) sink(emitted.back());
+  }
+  if (released > 0) {
+    pending.fetch_sub(released, std::memory_order_release);
+    emittedCount.fetch_add(released, std::memory_order_release);
   }
 }
 
@@ -238,7 +316,7 @@ Pipeline::Stats Pipeline::stats() const {
     s.droppedOldest += rs.droppedOldest;
     s.blockedPushes += rs.blockedPushes;
   }
-  s.alertsEmitted = merge_.emitted.size();
+  s.alertsEmitted = merge_.emittedCount.load(std::memory_order_acquire);
   if (exchange_) {
     const KnowledgeExchange::Stats xs = exchange_->stats();
     s.knowledgePublished = xs.published;

@@ -15,10 +15,14 @@
 // per-device state — flood windows, watchdog counters, DataStore windows —
 // stays on one worker and no detection structure needs a lock.
 //
-// The merge stage buffers shard alerts in a min-heap keyed by
-// (time, shard, seq) and releases an alert only once every live shard's
-// watermark has passed its timestamp, so the emitted stream is totally
-// ordered and identical across runs regardless of thread interleaving.
+// The merge stage buffers each shard's alerts as an already-sorted run
+// (engines emit in nondecreasing time order) and releases the smallest
+// (time, shard) head only once every live shard's watermark has passed its
+// timestamp, so the emitted stream is totally ordered — exactly the
+// (time, shard, seq) order the original per-alert min-heap produced — and
+// identical across runs regardless of thread interleaving. Quiet batches
+// (no fresh alerts, nothing buffered anywhere) skip the merge lock
+// entirely: the shard just publishes its watermark with one atomic store.
 //
 // Modes:
 //   deterministic = true   single shard, processed synchronously on the
@@ -36,6 +40,7 @@
 // joins the workers and flushes the merge stage. A Pipeline is one-shot.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -116,6 +121,16 @@ class Pipeline {
   /// caller thread only, after start().
   bool enqueue(const net::CapturedPacket& pkt);
 
+  /// Batched enqueue: hash-groups `count` packets by shard and pushes each
+  /// group with ONE ring lock acquisition and at most one worker wake-up
+  /// (BoundedRing::pushBatch) — the producer-side fast path for replay
+  /// loops and capture bursts. Per-packet semantics (acceptance, eviction
+  /// order, loss tallies, per-source FIFO) are identical to calling
+  /// enqueue() in order. Returns the number of packets accepted. Same
+  /// threading contract as enqueue(); deterministic mode processes the
+  /// batch inline, one packet at a time, bit-identically.
+  std::size_t enqueueBatch(const net::CapturedPacket* pkts, std::size_t count);
+
   /// Drains every queued packet, joins the workers, runs engine finish()
   /// and flushes the merge stage. Idempotent.
   void stop();
@@ -175,27 +190,45 @@ class Pipeline {
     std::vector<ids::Alert> alertScratch;
   };
 
-  /// Timestamp-ordered, watermark-gated alert merge.
+  /// Timestamp-ordered, watermark-gated alert merge over per-shard runs.
+  ///
+  /// Each shard appends its drained alerts — already sorted, since engines
+  /// emit in nondecreasing time order — to a private run buffer; the flush
+  /// is a k-way merge of the run heads, releasing the smallest
+  /// (time, shard) while it sorts strictly below every live shard's
+  /// watermark. Within a shard the run IS seq order, so the emitted stream
+  /// equals the old per-alert (time, shard, seq) heap order while touching
+  /// each alert O(shards) instead of O(log pending) heap operations — and
+  /// the common quiet batch (no fresh alerts, nothing buffered) never takes
+  /// the lock at all: it publishes the shard watermark with one relaxed-
+  /// free atomic store and returns.
   struct MergeStage {
-    struct Pending {
-      ids::Alert alert;
-      std::size_t shard = 0;
-      std::uint64_t seq = 0;
-    };
-    /// Heap comparator: smallest (time, shard, seq) on top.
-    struct Later {
-      bool operator()(const Pending& a, const Pending& b) const;
+    /// One shard's buffered run: FIFO window [head, run.size()).
+    struct ShardRun {
+      std::vector<ids::Alert> run;
+      std::size_t head = 0;
+      bool empty() const { return head >= run.size(); }
+      const ids::Alert& front() const { return run[head]; }
     };
     std::mutex mu;
-    std::vector<Pending> heap;  ///< min-heap by (time, shard, seq)
-    std::vector<SimTime> watermark;
-    std::vector<char> done;
-    std::vector<std::uint64_t> nextSeq;
+    std::vector<ShardRun> runs;  ///< per-shard sorted alert runs (mu)
+    /// Per-shard watermark: written by the owning worker (release), read by
+    /// whichever thread flushes. Stored via unique_ptr — atomics don't move.
+    std::vector<std::unique_ptr<std::atomic<SimTime>>> watermark;
+    /// Total buffered-but-unreleased alerts across all runs; lets quiet
+    /// batches skip the lock when there is provably nothing to flush.
+    std::atomic<std::uint64_t> pending{0};
+    std::atomic<std::uint64_t> emittedCount{0};
+    std::vector<char> done;  ///< mu
     std::vector<ids::Alert> emitted;
     std::function<void(const ids::Alert&)> sink;
 
-    /// Moves the drained alerts into the heap; `alerts` is left with moved-
-    /// from elements (the caller clears and reuses it — pooled scratch).
+    void init(std::size_t shards);
+
+    /// Moves the drained alerts into `shard`'s run; `alerts` is left with
+    /// moved-from elements (the caller clears and reuses it — pooled
+    /// scratch). Lock-free when `alerts` is empty, nothing is buffered
+    /// anywhere and the shard is not finishing.
     void offer(std::size_t shard, std::vector<ids::Alert>& alerts,
                SimTime shardWatermark, bool shardDone);
 

@@ -11,10 +11,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -201,12 +203,14 @@ struct ExchangeProbe {
 /// putRemote. Mirrors what KalisShardEngine does without the full stack.
 class KnowledgeEngine : public pipeline::PacketEngine {
  public:
-  KnowledgeEngine(std::size_t shard, ExchangeProbe& probe)
-      : kb_("E" + std::to_string(shard)), probe_(probe) {
+  KnowledgeEngine(std::size_t shard, ExchangeProbe& probe,
+                  std::chrono::microseconds delay = {})
+      : kb_("E" + std::to_string(shard)), probe_(probe), delay_(delay) {
     kb_.addCollectiveSink(&buffer_);
   }
 
   void onPacket(const net::CapturedPacket& pkt) override {
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
     watermark_ = pkt.meta.timestamp;
     ++packets_;
     kb_.put("PacketCount", static_cast<long long>(packets_), "",
@@ -245,6 +249,7 @@ class KnowledgeEngine : public pipeline::PacketEngine {
 
   ids::KnowledgeBase kb_;
   ExchangeProbe& probe_;
+  std::chrono::microseconds delay_;
   BufferSink buffer_;
   std::uint64_t packets_ = 0;
   SimTime watermark_ = 0;
@@ -318,6 +323,40 @@ TEST(ExchangeDrainOnShutdown, InFlightKnowggetsSurviveImmediateStop) {
     if (pipe.knowledgeWatermark(s) > 0) ++advanced;
   }
   EXPECT_GT(advanced, 0u);
+}
+
+TEST(ExchangeShutdown, StalledShardRendezvousNeitherSpinsNorDeadlocks) {
+  // One shard dawdles per packet while its peers finish early. The early
+  // finishers must park in a single blocking wait for the straggler — the
+  // old code re-polled waitAllFinished every 1 ms, which shows up as one
+  // finishWaits increment per poll. With the predicate wait the counter is
+  // bounded by the worker count, and stop() still terminates (no deadlock
+  // between the parked waiters and the straggler's late publishes).
+  pipeline::Options opts;
+  opts.workers = 2;
+  opts.knowledgeExchange = true;
+  opts.knowledgeSyncInterval = 0;  // exchange on every batch boundary
+  ExchangeProbe probe;
+  Pipeline pipe(opts, [&probe](std::size_t shard) {
+    // Shard 1 stalls ~2 ms per packet; shard 0 runs full speed.
+    return std::make_unique<KnowledgeEngine>(
+        shard, probe,
+        shard == 1 ? std::chrono::microseconds(2000)
+                   : std::chrono::microseconds(0));
+  });
+  pipe.start();
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pipe.enqueue(
+        wifiFrom(static_cast<std::uint8_t>(1 + i % 16), seconds(1 + i))));
+  }
+  pipe.stop();  // must complete: the fast shard waits, the slow one catches up
+
+  EXPECT_EQ(pipe.stats().processed, 200u);
+  obs::Registry reg;
+  pipe.collectMetrics(reg, "pipeline");
+  // <= one rendezvous wait per worker; ~100+ would mean a poll loop is back.
+  EXPECT_LE(reg.counterValue("pipeline.exchange.finish_waits"),
+            opts.workers);
 }
 
 // --- convergence with real Kalis shard engines ------------------------------------
