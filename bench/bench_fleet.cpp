@@ -1,0 +1,308 @@
+// Fleet-scale deployment bench (ISSUE 8): homes vs RSS vs aggregate packet
+// throughput vs cross-home detection-propagation latency, for the
+// shared-baseline (copy-on-write) memory model against the naive
+// private-copy model.
+//
+// Sweep order matters for RSS deltas: the CoW sweeps run FIRST, ascending,
+// so each run's resident-set delta is measured against a heap that has not
+// yet been inflated by a bigger run (freed glibc arenas do not return to
+// the OS reliably; malloc_trim helps but is best-effort). The naive model
+// is additionally compared through exact internal KB-byte accounting,
+// which is immune to allocator noise.
+//
+//   ./bench_fleet [--smoke] [--max-homes N] [--rounds R] [--workers W]
+//
+// Default mode sweeps {1k, 10k, max-homes} CoW + {1k, 10k} naive and emits
+// BENCH_fleet.json (the committed acceptance artifact; scripts/perf_gate.py
+// gates pps and --max-rss-per-home against it).
+//
+// --smoke runs one small fleet and hard-asserts the correctness
+// invariants CI relies on: the novel signature activates, every home
+// observes it within the configured staleness bound, all homes converge to
+// the same collective view after shutdown reconciliation, and the exchange
+// accounting identities close exactly (zero unaccounted loss).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "fleet/fleet.hpp"
+
+using namespace kalis;
+using fleet::Fleet;
+
+namespace {
+
+double nowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-effort: return freed arena memory to the OS so the next run's RSS
+/// delta starts from a clean floor.
+void trimHeap() {
+#if defined(__GLIBC__)
+  ::malloc_trim(0);
+#endif
+}
+
+struct RunResult {
+  std::string name;
+  std::size_t homes = 0;
+  std::size_t regions = 0;
+  std::size_t workers = 0;
+  bool shareBaseline = true;
+  double wallSec = 0;
+  double pps = 0;  ///< aggregate packet events / wall second
+  std::size_t rssBeforeBytes = 0;
+  std::size_t rssAfterBytes = 0;
+  double rssPerHomeBytes = 0;
+  std::size_t kbBytesTotal = 0;  ///< exact: overlays + shared segments
+  double kbBytesPerHome = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t alerts = 0;
+  Fleet::PropagationReport propagation;
+  std::uint32_t stalenessBoundRounds = 0;
+  bool withinBound = false;
+  fleet::HierarchicalExchange::Stats exchange;
+};
+
+Fleet::Options fleetOptions(std::size_t homes, std::size_t workers,
+                            std::uint32_t rounds, bool shareBaseline) {
+  Fleet::Options o;
+  o.homes = homes;
+  // ~256 homes per region hub, but never fewer regions than workers (each
+  // worker owns at least one region) and at least two (cross-region
+  // propagation must actually cross a boundary).
+  o.regions = std::max<std::size_t>({2, workers, homes / 256});
+  o.workers = workers;
+  o.seed = 42;
+  o.rounds = rounds;
+  o.shareBaseline = shareBaseline;
+  return o;
+}
+
+RunResult runFleet(Fleet::Options options, const char* tag) {
+  trimHeap();
+  RunResult r;
+  r.rssBeforeBytes = fleet::currentRssBytes();
+  Fleet f(options);
+  const double t0 = nowSec();
+  f.run();
+  r.wallSec = nowSec() - t0;
+  r.rssAfterBytes = fleet::currentRssBytes();
+
+  const Fleet::Stats stats = f.stats();
+  r.name = std::string(tag) + "_h" + std::to_string(options.homes);
+  r.homes = f.options().homes;
+  r.regions = f.options().regions;
+  r.workers = f.options().workers;
+  r.shareBaseline = options.shareBaseline;
+  r.pps = r.wallSec > 0
+              ? static_cast<double>(stats.packetsProcessed) / r.wallSec
+              : 0;
+  r.packets = stats.packetsProcessed;
+  r.alerts = stats.alertsRaised;
+  const std::size_t rssDelta = r.rssAfterBytes > r.rssBeforeBytes
+                                   ? r.rssAfterBytes - r.rssBeforeBytes
+                                   : 0;
+  r.rssPerHomeBytes = static_cast<double>(rssDelta) / r.homes;
+  r.kbBytesTotal = stats.homeHeapBytes + stats.baselineBytes;
+  r.kbBytesPerHome = static_cast<double>(r.kbBytesTotal) / r.homes;
+  r.propagation = stats.propagation;
+  r.stalenessBoundRounds = f.stalenessBoundRounds();
+  r.withinBound = r.propagation.activated &&
+                  r.propagation.homesObserved == r.propagation.homesTotal &&
+                  r.propagation.maxLagRounds <= r.stalenessBoundRounds;
+  r.exchange = stats.exchange;
+  return r;
+}
+
+bool accountingCloses(const fleet::HierarchicalExchange::Stats& s) {
+  return s.published == s.regionDrained + s.regionDropped &&
+         s.globalForwarded == s.globalDrained + s.globalDropped;
+}
+
+int runSmoke(std::size_t workers) {
+  Fleet::Options o = fleetOptions(2000, workers, 24, /*shareBaseline=*/true);
+  // Tight rings so the smoke test also exercises cadence > 1 paths.
+  o.regionSyncEvery = 2;
+  o.globalSyncEvery = 2;
+  o.globalPullEvery = 2;
+  Fleet f(o);
+  f.run();
+  const Fleet::Stats stats = f.stats();
+  const auto& prop = stats.propagation;
+
+  bool ok = true;
+  if (!prop.activated) {
+    std::fprintf(stderr, "smoke: signature never activated\n");
+    ok = false;
+  }
+  if (prop.homesObserved != prop.homesTotal) {
+    std::fprintf(stderr, "smoke: only %zu/%zu homes observed the signature\n",
+                 prop.homesObserved, prop.homesTotal);
+    ok = false;
+  }
+  if (prop.maxLagRounds > f.stalenessBoundRounds()) {
+    std::fprintf(stderr, "smoke: max lag %u rounds exceeds bound %u\n",
+                 prop.maxLagRounds, f.stalenessBoundRounds());
+    ok = false;
+  }
+  if (!accountingCloses(stats.exchange)) {
+    std::fprintf(stderr,
+                 "smoke: exchange accounting does not close "
+                 "(pub=%llu rdrain=%llu rdrop=%llu fwd=%llu gdrain=%llu "
+                 "gdrop=%llu)\n",
+                 (unsigned long long)stats.exchange.published,
+                 (unsigned long long)stats.exchange.regionDrained,
+                 (unsigned long long)stats.exchange.regionDropped,
+                 (unsigned long long)stats.exchange.globalForwarded,
+                 (unsigned long long)stats.exchange.globalDrained,
+                 (unsigned long long)stats.exchange.globalDropped);
+    ok = false;
+  }
+  // Convergence: after shutdown reconciliation every home holds the same
+  // collective view.
+  const std::vector<ids::Knowgget> reference = f.homeCollectiveView(0);
+  for (std::size_t h = 1; h < f.options().homes; ++h) {
+    const std::vector<ids::Knowgget> view = f.homeCollectiveView(h);
+    if (view.size() != reference.size()) {
+      std::fprintf(stderr, "smoke: home %zu view size %zu != %zu\n", h,
+                   view.size(), reference.size());
+      ok = false;
+      break;
+    }
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      if (view[i].label != reference[i].label ||
+          view[i].value != reference[i].value ||
+          view[i].creator != reference[i].creator) {
+        std::fprintf(stderr, "smoke: home %zu diverged at entry %zu (%s)\n", h,
+                     i, view[i].label.c_str());
+        ok = false;
+        h = f.options().homes;  // break outer
+        break;
+      }
+    }
+  }
+  std::printf("bench_fleet --smoke: homes=%zu observed=%zu/%zu maxLag=%u "
+              "bound=%u %s\n",
+              f.options().homes, prop.homesObserved, prop.homesTotal,
+              prop.maxLagRounds, f.stalenessBoundRounds(),
+              ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+void printRun(const RunResult& r) {
+  std::printf("%-14s %8zu %6zu %3zu %5s %9.2f %12.0f %9.0f %9.0f %5zu/%-6zu "
+              "%4u/%-4u %s\n",
+              r.name.c_str(), r.homes, r.regions, r.workers,
+              r.shareBaseline ? "cow" : "naive", r.wallSec, r.pps,
+              r.rssPerHomeBytes, r.kbBytesPerHome, r.propagation.homesObserved,
+              r.propagation.homesTotal, r.propagation.maxLagRounds,
+              r.stalenessBoundRounds, r.withinBound ? "ok" : "MISS");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t maxHomes = 100000;
+  std::uint32_t rounds = 24;
+  std::size_t workers =
+      std::min<std::size_t>(8, std::max(1u, std::thread::hardware_concurrency()));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--max-homes") == 0 && i + 1 < argc) {
+      maxHomes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fleet [--smoke] [--max-homes N] [--rounds R] "
+                   "[--workers W]\n");
+      return 2;
+    }
+  }
+  if (smoke) return runSmoke(workers);
+
+  std::printf("bench_fleet: max_homes=%zu rounds=%u workers=%zu "
+              "hardware_concurrency=%u\n",
+              maxHomes, rounds, workers, std::thread::hardware_concurrency());
+  std::printf("%-14s %8s %6s %3s %5s %9s %12s %9s %9s %12s %9s %s\n", "config",
+              "homes", "rgns", "w", "model", "wall_sec", "pkts/sec", "rss/home",
+              "kb/home", "observed", "lag/bound", "prop");
+
+  // CoW first, ascending (see header comment), then the naive model —
+  // capped at 10k homes: a private 64-entry KB copy per home at 100k is
+  // ~1 GiB of pure waste, which is exactly the point of the comparison.
+  std::vector<std::size_t> cowSizes{1000, 10000};
+  if (maxHomes > 10000) cowSizes.push_back(maxHomes);
+  std::vector<RunResult> results;
+  for (std::size_t homes : cowSizes) {
+    results.push_back(runFleet(
+        fleetOptions(homes, workers, rounds, /*shareBaseline=*/true), "cow"));
+    printRun(results.back());
+  }
+  for (std::size_t homes : {std::size_t{1000}, std::size_t{10000}}) {
+    results.push_back(runFleet(
+        fleetOptions(homes, workers, rounds, /*shareBaseline=*/false), "naive"));
+    printRun(results.back());
+  }
+
+  bool allOk = true;
+  for (const RunResult& r : results) {
+    if (!r.withinBound || !accountingCloses(r.exchange)) allOk = false;
+  }
+
+  const std::string jsonPath = "BENCH_fleet.json";
+  std::ofstream out(jsonPath, std::ios::trunc);
+  out << "{\n  \"bench\": \"fleet\",\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"rounds\": " << rounds << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"homes\": " << r.homes
+        << ", \"regions\": " << r.regions << ", \"workers\": " << r.workers
+        << ", \"share_baseline\": " << (r.shareBaseline ? "true" : "false")
+        << ", \"wall_sec\": " << r.wallSec << ", \"pps\": " << r.pps
+        << ", \"packets\": " << r.packets << ", \"alerts\": " << r.alerts
+        << ", \"rss_before_bytes\": " << r.rssBeforeBytes
+        << ", \"rss_after_bytes\": " << r.rssAfterBytes
+        << ", \"rss_per_home_bytes\": " << r.rssPerHomeBytes
+        << ", \"kb_bytes_total\": " << r.kbBytesTotal
+        << ", \"kb_bytes_per_home\": " << r.kbBytesPerHome
+        << ", \"homes_observed\": " << r.propagation.homesObserved
+        << ", \"homes_total\": " << r.propagation.homesTotal
+        << ", \"activation_round\": " << r.propagation.activationRound
+        << ", \"max_lag_rounds\": " << r.propagation.maxLagRounds
+        << ", \"mean_lag_rounds\": " << r.propagation.meanLagRounds
+        << ", \"max_lag_virtual_us\": " << r.propagation.maxLagVirtual
+        << ", \"staleness_bound_rounds\": " << r.stalenessBoundRounds
+        << ", \"within_bound\": " << (r.withinBound ? "true" : "false")
+        << ", \"published\": " << r.exchange.published
+        << ", \"region_dropped\": " << r.exchange.regionDropped
+        << ", \"global_dropped\": " << r.exchange.globalDropped << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::fprintf(stderr, "bench_fleet: results written to %s\n",
+               out ? jsonPath.c_str() : "<failed>");
+  return allOk ? 0 : 1;
+}

@@ -26,8 +26,17 @@
 // divergence (accounted loss / reordering-tolerant / regression), writes
 // chaos_divergence.json, and exits nonzero on any regression.
 //
+// --fleet N switches to fleet-replay mode (DESIGN.md §11): instead of one
+// replayed trace, N statistical home simulations run over the kalis::fleet
+// worker pool with hierarchical collective knowledge, and the run prints a
+// cross-home detection-propagation latency summary — how long a signature
+// learned in one home takes to reach every other region. --regions R and
+// --seed S shape the fleet (the positional seed is shared with the replay
+// modes).
+//
 //   ./trace_replay [seed] [--pipeline] [--workers N] [--kb-sync MS]
 //                  [--chaos PLAN | --chaos-diff PLAN]
+//                  [--fleet N [--regions R] [--seed S]]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +48,7 @@
 
 #include "attacks/dos_attacks.hpp"
 #include "chaos/diff_runner.hpp"
+#include "fleet/fleet.hpp"
 #include "chaos/fault_plan.hpp"
 #include "chaos/link_chaos.hpp"
 #include "kalis/kalis_node.hpp"
@@ -134,12 +144,67 @@ int runChaosDiff(std::uint64_t seed, const chaos::FaultPlan& plan,
   return 0;
 }
 
+/// --fleet: N simulated homes over the bounded worker pool, with the
+/// home→region→global knowledge hierarchy; prints the propagation-latency
+/// summary of the fleet-learned signature.
+int runFleetReplay(std::size_t homes, std::size_t regions, std::size_t workers,
+                   std::uint64_t seed) {
+  fleet::Fleet::Options opts;
+  opts.homes = homes;
+  opts.regions = regions;
+  opts.workers = workers == 0 ? 1 : workers;
+  opts.seed = seed;
+  fleet::Fleet f(opts);
+  std::printf("Fleet replay: %zu homes in %zu regions over %zu workers "
+              "(seed %llu)\n",
+              f.options().homes, f.options().regions, f.options().workers,
+              static_cast<unsigned long long>(seed));
+  f.run();
+
+  const fleet::Fleet::Stats stats = f.stats();
+  const auto& prop = stats.propagation;
+  std::printf("Processed %llu packet events, %llu alerts, %llu attack "
+              "packets missed pre-propagation\n",
+              static_cast<unsigned long long>(stats.packetsProcessed),
+              static_cast<unsigned long long>(stats.alertsRaised),
+              static_cast<unsigned long long>(stats.attackPacketsMissed));
+  if (!prop.activated) {
+    std::printf("Signature never activated (fleet too small or too few "
+                "rounds for the origin to accumulate evidence)\n");
+    return 1;
+  }
+  std::printf("\nCross-home detection propagation\n");
+  std::printf("  origin home            H%u (region %zu), activated round %u\n",
+              prop.originHome, f.regionOfHome(prop.originHome),
+              prop.activationRound);
+  std::printf("  homes reached          %zu / %zu\n", prop.homesObserved,
+              prop.homesTotal);
+  std::printf("  propagation latency    mean %.2f rounds, max %u rounds "
+              "(%llu virtual us)\n",
+              prop.meanLagRounds, prop.maxLagRounds,
+              static_cast<unsigned long long>(prop.maxLagVirtual));
+  std::printf("  staleness bound        %u rounds (%llu virtual us) — %s\n",
+              f.stalenessBoundRounds(),
+              static_cast<unsigned long long>(f.stalenessBoundVirtual()),
+              prop.maxLagRounds <= f.stalenessBoundRounds() ? "held"
+                                                            : "VIOLATED");
+  std::printf("  knowledge memory       %.0f bytes/home (CoW overlays + "
+              "shared baselines)\n",
+              static_cast<double>(stats.homeHeapBytes + stats.baselineBytes) /
+                  f.options().homes);
+  const bool converged = prop.homesObserved == prop.homesTotal &&
+                         prop.maxLagRounds <= f.stalenessBoundRounds();
+  return converged ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 21;
   bool usePipeline = false;
   std::size_t workers = 4;
+  std::size_t fleetHomes = 0;
+  std::size_t fleetRegions = 16;
   bool kbSync = false;
   std::uint64_t kbSyncMs = 10;
   std::optional<chaos::FaultPlan> chaosPlan;
@@ -152,6 +217,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--kb-sync") == 0 && i + 1 < argc) {
       kbSync = true;
       kbSyncMs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      fleetHomes = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--regions") == 0 && i + 1 < argc) {
+      fleetRegions =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
     } else if ((std::strcmp(argv[i], "--chaos") == 0 ||
                 std::strcmp(argv[i], "--chaos-diff") == 0) &&
                i + 1 < argc) {
@@ -167,6 +239,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (fleetHomes > 0) {
+    return runFleetReplay(fleetHomes, fleetRegions, workers, seed);
+  }
   if (chaosDiff) return runChaosDiff(seed, *chaosPlan, workers);
 
   const chaos::FaultPlan* plan = chaosPlan ? &*chaosPlan : nullptr;

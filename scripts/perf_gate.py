@@ -29,6 +29,14 @@ not a baseline diff, and it only makes sense on hardware with at least N
 cores — on smaller runners it is skipped with a notice (core counts are
 recorded in the BENCH JSON precisely so multi-core expectations are never
 held against single-core runs).
+
+Fleet memory gate (--max-rss-per-home BYTES): for BENCH_fleet.json, require
+the largest shared-baseline (CoW) run's resident-set delta per home to stay
+under the given absolute byte budget. Like the scaling gate this checks the
+*current* run, not a baseline diff — RSS is allocator- and kernel-
+dependent, so an absolute budget with headroom beats a brittle percentage
+diff. The gate also re-asserts the sublinearity claim: the CoW run must
+beat every naive (private-copy) run's per-home KB bytes.
 """
 
 import argparse
@@ -95,6 +103,43 @@ def scaling_gate(cur_doc, workers, threshold):
     return [f"scaling workers={workers} missing"]
 
 
+def rss_gate(cur_doc, limit_bytes):
+    """Absolute per-home memory check on the current fleet run.
+
+    Gates the biggest shared-baseline (CoW) run's rss_per_home_bytes against
+    the budget, and requires its exact per-home KB bytes to undercut every
+    naive run's (the sublinear-memory acceptance criterion of the fleet
+    bench). Returns a list of failure identities (empty on pass).
+    """
+    cow = [r for r in cur_doc.get("runs", [])
+           if r.get("share_baseline") is True and "rss_per_home_bytes" in r]
+    if not cow:
+        print("perf_gate: FAIL rss — no shared-baseline fleet run with "
+              "rss_per_home_bytes in current JSON", file=sys.stderr)
+        return ["rss no cow run"]
+    biggest = max(cow, key=lambda r: r.get("homes", 0))
+    failures = []
+    rss = float(biggest["rss_per_home_bytes"])
+    ok = rss <= limit_bytes
+    print(f"perf_gate: {'ok   ' if ok else 'FAIL '}rss "
+          f"{run_identity(biggest)}: {rss:.0f} bytes/home "
+          f"(budget {limit_bytes:.0f}, {biggest.get('homes', '?')} homes)")
+    if not ok:
+        failures.append(f"rss {run_identity(biggest)}")
+    cow_kb = float(biggest.get("kb_bytes_per_home", 0.0))
+    for run in cur_doc.get("runs", []):
+        if run.get("share_baseline") is not False:
+            continue
+        naive_kb = float(run.get("kb_bytes_per_home", 0.0))
+        ok = cow_kb < naive_kb
+        print(f"perf_gate: {'ok   ' if ok else 'FAIL '}rss sublinearity: "
+              f"cow {cow_kb:.0f} vs naive {run_identity(run)} "
+              f"{naive_kb:.0f} kb-bytes/home")
+        if not ok:
+            failures.append(f"rss sublinearity vs {run_identity(run)}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
@@ -109,6 +154,9 @@ def main():
                          "skipped when the runner has fewer cores than that")
     ap.add_argument("--scaling-workers", type=int, default=4,
                     help="worker count the scaling gate inspects (default 4)")
+    ap.add_argument("--max-rss-per-home", type=float, default=None,
+                    help="absolute byte budget for the largest CoW fleet "
+                         "run's resident-set delta per home (BENCH_fleet)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -151,6 +199,8 @@ def main():
     if args.min_scaling_efficiency is not None:
         failures += scaling_gate(cur_doc, args.scaling_workers,
                                  args.min_scaling_efficiency)
+    if args.max_rss_per_home is not None:
+        failures += rss_gate(cur_doc, args.max_rss_per_home)
 
     if compared == 0:
         print("perf_gate: no comparable runs found — baseline and current "

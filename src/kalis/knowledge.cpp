@@ -34,6 +34,40 @@ std::optional<KeyParts> decodeKey(std::string_view key) {
   return parts;
 }
 
+BaselineSegment::BaselineSegment(std::vector<Knowgget> entries) {
+  entries_.reserve(entries.size());
+  for (Knowgget& k : entries) {
+    entries_.emplace_back(encodeKey(k.creator, k.label, k.entity),
+                          std::move(k));
+  }
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Later duplicates win, mirroring repeated map insertion.
+  for (std::size_t i = entries_.size(); i-- > 1;) {
+    if (entries_[i].first == entries_[i - 1].first) {
+      entries_[i - 1] = std::move(entries_[i]);
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+const Knowgget* BaselineSegment::find(const std::string& key) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& e, const std::string& k) { return e.first < k; });
+  if (it == entries_.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
+std::size_t BaselineSegment::memoryBytes() const {
+  std::size_t bytes = sizeof(BaselineSegment);
+  for (const auto& [key, k] : entries_) {
+    bytes += key.size() + k.label.size() + k.value.size() + k.creator.size() +
+             k.entity.size() + sizeof(std::pair<std::string, Knowgget>);
+  }
+  return bytes;
+}
+
 KnowledgeBase::KnowledgeBase(std::string selfId) : selfId_(std::move(selfId)) {}
 
 void KnowledgeBase::putEncoded(const std::string& label, std::string value,
@@ -43,6 +77,11 @@ void KnowledgeBase::putEncoded(const std::string& label, std::string value,
   const std::string key = encodeKey(selfId_, label, entity);
   auto it = store_.find(key);
   if (it != store_.end() && it->second.value == value) return;  // unchanged
+  if (it == store_.end() && baseline_) {
+    // Copy-on-write: re-asserting the baseline value costs no overlay entry.
+    const Knowgget* base = baseline_->find(key);
+    if (base != nullptr && base->value == value) return;
+  }
 
   Knowgget k;
   k.label = label;
@@ -79,6 +118,16 @@ bool KnowledgeBase::putRemote(const Knowgget& k) {
       return false;
     }
     if (it->second.value == k.value) return true;  // no change
+  } else if (baseline_ != nullptr) {
+    const Knowgget* base = baseline_->find(key);
+    if (base != nullptr) {
+      if (base->creator != k.creator) {  // one-way rule vs the baseline
+        remoteRejected_.inc();
+        return false;
+      }
+      // Matching the shared baseline costs no overlay entry (CoW).
+      if (base->value == k.value) return true;
+    }
   }
   Knowgget stored = k;
   stored.updated = nowTs();
@@ -95,55 +144,68 @@ bool KnowledgeBase::remove(const std::string& label, const std::string& entity) 
 
 std::optional<std::string> KnowledgeBase::raw(const std::string& key) const {
   auto it = store_.find(key);
-  if (it == store_.end()) return std::nullopt;
-  return it->second.value;
+  if (it != store_.end()) return it->second.value;
+  if (baseline_ != nullptr) {
+    const Knowgget* base = baseline_->find(key);
+    if (base != nullptr) return base->value;
+  }
+  return std::nullopt;
 }
 
 std::vector<Knowgget> KnowledgeBase::byLabel(const std::string& label) const {
   std::vector<Knowgget> out;
-  for (const auto& [key, k] : store_) {
+  forEachEntry([&](const std::string&, const Knowgget& k) {
     if (k.label == label) out.push_back(k);
-  }
+  });
   return out;
 }
 
 std::vector<Knowgget> KnowledgeBase::byEntity(const std::string& entity) const {
   std::vector<Knowgget> out;
-  for (const auto& [key, k] : store_) {
+  forEachEntry([&](const std::string&, const Knowgget& k) {
     if (k.entity == entity) out.push_back(k);
-  }
+  });
   return out;
 }
 
 std::vector<Knowgget> KnowledgeBase::byLabelPrefix(
     const std::string& labelPrefix) const {
   std::vector<Knowgget> out;
-  for (const auto& [key, k] : store_) {
+  forEachEntry([&](const std::string&, const Knowgget& k) {
     if (k.label == labelPrefix ||
         (k.label.size() > labelPrefix.size() &&
          startsWith(k.label, labelPrefix) &&
          k.label[labelPrefix.size()] == '.')) {
       out.push_back(k);
     }
-  }
+  });
   return out;
 }
 
 std::vector<Knowgget> KnowledgeBase::byCreator(const std::string& creator) const {
   std::vector<Knowgget> out;
   const std::string prefix = creator + "$";
-  for (auto it = store_.lower_bound(prefix);
-       it != store_.end() && startsWith(it->first, prefix); ++it) {
-    out.push_back(it->second);
-  }
+  forEachEntry([&](const std::string& key, const Knowgget& k) {
+    if (startsWith(key, prefix)) out.push_back(k);
+  });
   return out;
 }
 
 std::vector<Knowgget> KnowledgeBase::all() const {
   std::vector<Knowgget> out;
-  out.reserve(store_.size());
-  for (const auto& [key, k] : store_) out.push_back(k);
+  out.reserve(size());
+  forEachEntry(
+      [&](const std::string&, const Knowgget& k) { out.push_back(k); });
   return out;
+}
+
+std::size_t KnowledgeBase::size() const {
+  if (baseline_ == nullptr) return store_.size();
+  std::size_t shadowed = 0;
+  for (const auto& [key, k] : store_) {
+    if (baseline_->find(key) != nullptr) ++shadowed;
+  }
+  return store_.size() + baseline_->size() - shadowed;
 }
 
 std::size_t KnowledgeBase::memoryBytes() const {
@@ -209,8 +271,8 @@ void KnowledgeBase::collectMetrics(obs::Registry& reg,
   reg.counter(prefix + ".subscription_fires", subscriptionFires_);
   reg.counter(prefix + ".remote_accepted", remoteAccepted_);
   reg.counter(prefix + ".remote_rejected", remoteRejected_);
-  reg.gauge(prefix + ".knowggets", static_cast<double>(store_.size()),
-            static_cast<double>(store_.size()));
+  reg.gauge(prefix + ".knowggets", static_cast<double>(size()),
+            static_cast<double>(size()));
   reg.gauge(prefix + ".memory_bytes", static_cast<double>(memoryBytes()),
             static_cast<double>(memoryBytes()));
   reg.gauge(prefix + ".subscriptions", static_cast<double>(subs_.size()),

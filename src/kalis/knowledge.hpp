@@ -39,10 +39,12 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/metrics.hpp"
@@ -137,6 +139,38 @@ class CollectiveSink {
   virtual void onCollective(const Knowgget& k) = 0;
 };
 
+/// An immutable, shareable knowledge segment (DESIGN.md §11): a sorted,
+/// read-only set of knowggets that many KnowledgeBases reference through one
+/// shared_ptr instead of each holding a private copy. kalis::fleet gives
+/// every home in a region the same baseline segment; a home's KnowledgeBase
+/// then stores only the knowggets that *diverge* from the baseline
+/// (copy-on-write overlay), so fleet memory stays sublinear in homes.
+///
+/// Segments are frozen at construction — there is no mutation API, which is
+/// what makes the cross-thread sharing safe without locks.
+class BaselineSegment {
+ public:
+  /// Takes ownership of `entries`; keys are derived via encodeKey and the
+  /// set is sorted by key (later duplicates win, mirroring map insertion).
+  explicit BaselineSegment(std::vector<Knowgget> entries);
+
+  /// Entry under the exact encoded key, or nullptr.
+  const Knowgget* find(const std::string& key) const;
+
+  /// All entries, sorted by encoded key.
+  const std::vector<std::pair<std::string, Knowgget>>& entries() const {
+    return entries_;
+  }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Live bytes of the segment itself — counted ONCE fleet-wide, not per
+  /// referencing KnowledgeBase.
+  std::size_t memoryBytes() const;
+
+ private:
+  std::vector<std::pair<std::string, Knowgget>> entries_;  ///< sorted by key
+};
+
 class KnowledgeBase {
  public:
   /// `selfId` is this Kalis node's identifier (the creator stamped on local
@@ -144,6 +178,17 @@ class KnowledgeBase {
   explicit KnowledgeBase(std::string selfId);
 
   const std::string& selfId() const { return selfId_; }
+
+  /// Attaches a shared immutable baseline segment (DESIGN.md §11). Reads
+  /// fall through to the baseline wherever the private overlay has no entry
+  /// for the key; writes always land in the overlay (copy-on-write), and a
+  /// write whose value matches the baseline entry is a no-op that costs no
+  /// overlay memory. Set before the first write; replacing a baseline under
+  /// live subscriptions is not supported.
+  void setBaseline(std::shared_ptr<const BaselineSegment> baseline) {
+    baseline_ = std::move(baseline);
+  }
+  const BaselineSegment* baseline() const { return baseline_.get(); }
 
   /// Advances the timestamp recorded on subsequent writes.
   void setClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
@@ -197,9 +242,15 @@ class KnowledgeBase {
   std::vector<Knowgget> byCreator(const std::string& creator) const;
 
   std::vector<Knowgget> all() const;
-  std::size_t size() const { return store_.size(); }
+  /// Logical knowgget count: overlay entries plus baseline entries the
+  /// overlay does not shadow.
+  std::size_t size() const;
+  /// Overlay entries only — the knowggets this KB pays memory for.
+  std::size_t overlaySize() const { return store_.size(); }
 
-  /// Approximate live footprint, for the RAM accounting proxy.
+  /// Approximate live footprint, for the RAM accounting proxy. Counts the
+  /// private overlay only: an attached BaselineSegment is shared and must be
+  /// accounted once per segment (BaselineSegment::memoryBytes), not per KB.
   std::size_t memoryBytes() const;
 
   // --- subscriptions (the publish/subscribe activation mechanism) -----------
@@ -246,11 +297,16 @@ class KnowledgeBase {
                   const std::string& entity, bool collective);
   void notify(const Knowgget& k);
   SimTime nowTs() const { return clock_ ? clock_() : 0; }
+  /// Visits every logical entry in key order: the overlay merged over the
+  /// baseline, overlay entries shadowing same-key baseline entries.
+  template <typename Fn>
+  void forEachEntry(Fn&& fn) const;
 
   util::ThreadOwnershipChecker owner_;
   std::string selfId_;
   std::function<SimTime()> clock_;
-  std::map<std::string, Knowgget> store_;  ///< by encoded key
+  std::map<std::string, Knowgget> store_;  ///< overlay, by encoded key
+  std::shared_ptr<const BaselineSegment> baseline_;  ///< read-through layer
   struct Sub {
     int id;
     std::string pattern;
@@ -265,6 +321,24 @@ class KnowledgeBase {
   obs::Counter remoteAccepted_;
   obs::Counter remoteRejected_;
 };
+
+template <typename Fn>
+void KnowledgeBase::forEachEntry(Fn&& fn) const {
+  // Both sides are sorted by encoded key: a two-pointer merge where the
+  // overlay shadows same-key baseline entries.
+  auto ov = store_.begin();
+  if (baseline_) {
+    for (const auto& [key, k] : baseline_->entries()) {
+      while (ov != store_.end() && ov->first < key) {
+        fn(ov->first, ov->second);
+        ++ov;
+      }
+      if (ov != store_.end() && ov->first == key) continue;  // shadowed
+      fn(key, k);
+    }
+  }
+  for (; ov != store_.end(); ++ov) fn(ov->first, ov->second);
+}
 
 // Canonical knowgget labels shared between sensing and detection modules.
 // Centralizing them prevents typo-induced activation bugs.

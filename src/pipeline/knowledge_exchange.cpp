@@ -5,11 +5,9 @@ namespace kalis::pipeline {
 KnowledgeExchange::KnowledgeExchange(Options options) {
   const std::size_t shards = options.shards == 0 ? 1 : options.shards;
   inboxes_.reserve(shards);
-  watermarks_.reserve(shards);
   finalKnowledge_.resize(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    inboxes_.push_back(std::make_unique<InboxRing>(options.inboxCapacity));
-    watermarks_.push_back(std::make_unique<std::atomic<SimTime>>(0));
+    inboxes_.push_back(std::make_unique<KnowledgeInbox>(options.inboxCapacity));
   }
 }
 
@@ -23,13 +21,14 @@ void KnowledgeExchange::publish(std::size_t fromShard, const ids::Knowgget& k,
   item.publishedAt = at;
   for (std::size_t shard = 0; shard < inboxes_.size(); ++shard) {
     if (shard == fromShard) continue;
-    // Drop-oldest keeps publish non-blocking: a stalled consumer costs an
-    // eviction (repaired by shutdown reconciliation), never a deadlock.
-    const auto result = inboxes_[shard]->push(item, Backpressure::kDropOldest);
-    if (result == InboxRing::PushResult::kDroppedOldest) {
+    // The inbox's drop-oldest discipline keeps publish non-blocking: a
+    // stalled consumer costs an eviction (repaired by shutdown
+    // reconciliation), never a deadlock.
+    const auto result = inboxes_[shard]->deliver(item);
+    if (result == KnowledgeInbox::Deliver::kDroppedOldest) {
       droppedInFlight_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (result != InboxRing::PushResult::kClosed) {
+    if (result != KnowledgeInbox::Deliver::kClosed) {
       deliveries_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -37,22 +36,8 @@ void KnowledgeExchange::publish(std::size_t fromShard, const ids::Knowgget& k,
 
 std::size_t KnowledgeExchange::drain(
     std::size_t shard, const std::function<bool(const RemoteKnowgget&)>& apply) {
-  InboxRing& inbox = *inboxes_[shard];
-  std::vector<InboxRing::Item> batch;
-  std::size_t drained = 0;
-  SimTime watermark = watermarks_[shard]->load(std::memory_order_relaxed);
-  while (inbox.tryPopBatch(batch, 64) > 0) {
-    for (InboxRing::Item& item : batch) {
-      countApply(apply(item.value));
-      if (item.value.publishedAt > watermark) watermark = item.value.publishedAt;
-    }
-    drained += batch.size();
-    batch.clear();
-  }
-  if (drained > 0) {
-    watermarks_[shard]->store(watermark, std::memory_order_release);
-  }
-  return drained;
+  return inboxes_[shard]->drain(
+      [&](const RemoteKnowgget& item) { countApply(apply(item)); });
 }
 
 void KnowledgeExchange::countApply(bool accepted) {
@@ -132,8 +117,7 @@ void KnowledgeExchange::collectMetrics(obs::Registry& reg,
   reg.counter(prefix + ".dropped_in_flight", s.droppedInFlight);
   reg.counter(prefix + ".finish_waits", s.finishWaits);
   for (std::size_t i = 0; i < inboxes_.size(); ++i) {
-    inboxes_[i]->collectMetrics(reg,
-                                prefix + ".inbox." + std::to_string(i));
+    inboxes_[i]->collectMetrics(reg, prefix + ".inbox." + std::to_string(i));
   }
 }
 

@@ -48,11 +48,87 @@
 
 namespace kalis::pipeline {
 
-/// A collective knowgget in flight between shard engines.
+/// A collective knowgget in flight between knowledge domains. `fromShard`
+/// is the publishing child's index in whatever topology carries the item —
+/// a shard of the flat cross-shard exchange, or a home/region of the
+/// hierarchical fleet exchange (src/fleet).
 struct RemoteKnowgget {
   ids::Knowgget knowgget;
   std::size_t fromShard = 0;
-  SimTime publishedAt = 0;  ///< publisher's shard clock at publish time
+  SimTime publishedAt = 0;  ///< publisher's clock at publish time
+};
+
+/// One bounded drop-oldest inbox of in-flight knowggets plus its applied
+/// watermark — the tier primitive shared by the flat cross-shard
+/// KnowledgeExchange below and the hierarchical fleet exchange
+/// (src/fleet/hier_exchange.hpp). deliver() never blocks (any thread);
+/// drain() is single-consumer and advances the watermark to the highest
+/// publisher clock it handed out, giving every tier the same
+/// bounded-staleness accounting.
+class KnowledgeInbox {
+ public:
+  enum class Deliver : std::uint8_t {
+    kOk,            ///< accepted, ring had room
+    kDroppedOldest, ///< accepted, the oldest queued item was evicted
+    kClosed,        ///< rejected: the ring is closed
+  };
+
+  explicit KnowledgeInbox(std::size_t capacity) : ring_(capacity) {}
+
+  /// Non-blocking enqueue under the drop-oldest discipline: a stalled
+  /// consumer costs an eviction (repaired by the owning exchange's shutdown
+  /// reconciliation), never a deadlock. Callable from any thread.
+  Deliver deliver(const RemoteKnowgget& item) {
+    switch (ring_.push(item, Backpressure::kDropOldest)) {
+      case Ring::PushResult::kDroppedOldest:
+        return Deliver::kDroppedOldest;
+      case Ring::PushResult::kClosed:
+        return Deliver::kClosed;
+      default:
+        return Deliver::kOk;
+    }
+  }
+
+  /// Drains every queued item into `fn` (single consumer), then publishes
+  /// the new applied watermark. Returns the number of items drained.
+  std::size_t drain(const std::function<void(const RemoteKnowgget&)>& fn) {
+    std::size_t drained = 0;
+    SimTime watermark = watermark_.load(std::memory_order_relaxed);
+    while (ring_.tryPopBatch(scratch_, kDrainBatch) > 0) {
+      for (Ring::Item& item : scratch_) {
+        fn(item.value);
+        if (item.value.publishedAt > watermark) {
+          watermark = item.value.publishedAt;
+        }
+      }
+      drained += scratch_.size();
+      scratch_.clear();
+    }
+    if (drained > 0) watermark_.store(watermark, std::memory_order_release);
+    return drained;
+  }
+
+  /// Highest publisher clock drained so far — the bounded-staleness
+  /// watermark of this inbox's receiving domain.
+  SimTime appliedWatermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return ring_.capacity(); }
+
+  /// Per-ring event tallies and kalis::obs instrumentation.
+  void collectMetrics(obs::Registry& reg, const std::string& prefix) const {
+    ring_.collectMetrics(reg, prefix);
+  }
+
+  static constexpr std::size_t kDrainBatch = 64;
+
+ private:
+  using Ring = BoundedRing<RemoteKnowgget>;
+
+  Ring ring_;
+  std::atomic<SimTime> watermark_{0};
+  std::vector<Ring::Item> scratch_;  ///< consumer-thread-only drain buffer
 };
 
 class KnowledgeExchange {
@@ -94,7 +170,7 @@ class KnowledgeExchange {
   /// Highest publisher timestamp applied into `shard` so far — the
   /// bounded-staleness watermark.
   SimTime appliedWatermark(std::size_t shard) const {
-    return watermarks_[shard]->load(std::memory_order_acquire);
+    return inboxes_[shard]->appliedWatermark();
   }
 
   // --- shutdown reconciliation ----------------------------------------------
@@ -127,12 +203,9 @@ class KnowledgeExchange {
   void collectMetrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
-  using InboxRing = BoundedRing<RemoteKnowgget>;
-
   void countApply(bool accepted);
 
-  std::vector<std::unique_ptr<InboxRing>> inboxes_;
-  std::vector<std::unique_ptr<std::atomic<SimTime>>> watermarks_;
+  std::vector<std::unique_ptr<KnowledgeInbox>> inboxes_;
 
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> deliveries_{0};
