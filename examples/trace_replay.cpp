@@ -34,17 +34,21 @@
 // --seed S shape the fleet (the positional seed is shared with the replay
 // modes).
 //
-//   ./trace_replay [seed] [--pipeline] [--workers N] [--kb-sync MS]
-//                  [--chaos PLAN | --chaos-diff PLAN]
-//                  [--fleet N [--regions R] [--seed S]]
-#include <algorithm>
+// --pcap FILE replays a recorded pcap capture (written by a real sniffer or
+// by --dump-pcap) instead of simulating: the frames flow through the exact
+// same KalisNode / Pipeline engines via the unified PacketSource seam, so a
+// dumped trace replays byte-identically to the in-memory run that produced
+// it. --dump-pcap FILE writes the replayed trace as a mixed-medium pcap
+// (DLT_USER0 + Kalis pseudo-header, lossless RxMeta).
+//
+// Run `trace_replay --help` for the full flag reference.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "attacks/dos_attacks.hpp"
 #include "chaos/diff_runner.hpp"
@@ -54,15 +58,133 @@
 #include "kalis/kalis_node.hpp"
 #include "metrics/evaluation.hpp"
 #include "metrics/metrics_export.hpp"
+#include "net/packet_source.hpp"
 #include "pipeline/kalis_engine.hpp"
 #include "pipeline/pipeline.hpp"
 #include "scenarios/chaos_workload.hpp"
 #include "scenarios/environments.hpp"
+#include "trace/pcap.hpp"
 #include "trace/trace_file.hpp"
 
 using namespace kalis;
 
 namespace {
+
+constexpr const char* kUsage =
+    R"(usage: trace_replay [seed] [options]
+
+Record-and-replay driver (paper §VI-A). By default records a benign run and
+an attack run in the simulator, splices them by timestamp, round-trips the
+merged trace through the KTRC on-disk format, and replays it through a
+fresh Kalis instance "as if operating on live traffic".
+
+  [seed]             positional RNG seed for the recorded runs (default 21)
+  --seed S           same as the positional seed
+  --pipeline         replay through the kalis::pipeline ingestion engine
+  --workers N        pipeline worker shards; 0 = deterministic single-shard
+                     caller-thread mode (default 4)
+  --kb-sync MS       enable the cross-shard collective knowledge exchange
+                     with a sync interval of MS virtual milliseconds
+  --chaos PLAN       record+replay under a kalis::chaos fault plan; PLAN is
+                     "light", "heavy" or "key=value,..."
+  --chaos-diff PLAN  differential verification instead: baseline vs faulted
+                     vs multi-worker, nonzero exit on unexplained divergence
+  --fleet N          fleet-replay mode: N statistical homes over the worker
+                     pool with hierarchical collective knowledge
+  --regions R        fleet regions (default 16)
+  --pcap FILE        replay a recorded pcap capture instead of simulating
+                     (file DLT 195 / 105 / 251 or Kalis mixed 147); honors
+                     --pipeline and --workers
+  --dump-pcap FILE   after recording, dump the replayed trace as a
+                     mixed-medium pcap for later --pcap replay
+  --help             show this text
+)";
+
+/// Parsed command line; one field per flag, defaults = historical behavior.
+struct ReplayOptions {
+  std::uint64_t seed = 21;
+  bool usePipeline = false;
+  std::size_t workers = 4;
+  std::size_t fleetHomes = 0;
+  std::size_t fleetRegions = 16;
+  bool kbSync = false;
+  std::uint64_t kbSyncMs = 10;
+  std::optional<chaos::FaultPlan> chaosPlan;
+  bool chaosDiff = false;
+  std::string pcapIn;   ///< --pcap FILE: replay this capture
+  std::string pcapOut;  ///< --dump-pcap FILE: write the replayed trace
+  bool help = false;
+};
+
+/// Parses argv into ReplayOptions. Returns nullopt (after printing a
+/// diagnostic) on an unknown flag, a missing value or a bad fault plan.
+std::optional<ReplayOptions> parseReplayOptions(int argc, char** argv) {
+  ReplayOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    // Flags taking a value consume argv[i+1]; nullptr = value missing.
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const auto missing = [&]() -> std::optional<ReplayOptions> {
+      std::fprintf(stderr, "trace_replay: missing value for %s\n%s",
+                   argv[i], kUsage);
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else if (arg == "--pipeline") {
+      opt.usePipeline = true;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (!v) return missing();
+      opt.workers = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--kb-sync") {
+      const char* v = value();
+      if (!v) return missing();
+      opt.kbSync = true;
+      opt.kbSyncMs = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fleet") {
+      const char* v = value();
+      if (!v) return missing();
+      opt.fleetHomes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--regions") {
+      const char* v = value();
+      if (!v) return missing();
+      opt.fleetRegions =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return missing();
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--pcap") {
+      const char* v = value();
+      if (!v) return missing();
+      opt.pcapIn = v;
+    } else if (arg == "--dump-pcap") {
+      const char* v = value();
+      if (!v) return missing();
+      opt.pcapOut = v;
+    } else if (arg == "--chaos" || arg == "--chaos-diff") {
+      opt.chaosDiff = arg == "--chaos-diff";
+      const char* v = value();
+      if (!v) return missing();
+      std::string error;
+      opt.chaosPlan = chaos::FaultPlan::parse(v, &error);
+      if (!opt.chaosPlan) {
+        std::fprintf(stderr, "bad fault plan: %s\n", error.c_str());
+        return std::nullopt;
+      }
+    } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      std::fprintf(stderr, "trace_replay: unknown flag %s\n%s", argv[i],
+                   kUsage);
+      return std::nullopt;
+    } else {
+      opt.seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  return opt;
+}
 
 /// Runs a live simulation and returns everything a sniffer at the IDS spot
 /// captured. `withAttack` adds the ICMP flood; `plan` optionally breaks the
@@ -197,54 +319,144 @@ int runFleetReplay(std::size_t homes, std::size_t regions, std::size_t workers,
   return converged ? 0 : 1;
 }
 
+/// Replay through the kalis::pipeline ingestion engine: the source drains
+/// into worker shards via the unified seam, alerts emerge from the ordered
+/// merge stage. `truth` is null for --pcap replays (no ground truth on a
+/// recorded capture), which also disables the detection-rate exit gate.
+int replayPipeline(net::PacketSource& source, const ReplayOptions& opt,
+                   const chaos::FaultPlan* plan,
+                   const metrics::GroundTruth* truth) {
+  pipeline::Options popts;
+  popts.deterministic = opt.workers == 0;
+  popts.workers = opt.workers == 0 ? 1 : opt.workers;
+  popts.policy = pipeline::Backpressure::kBlock;
+  popts.knowledgeExchange = opt.kbSync;
+  popts.knowledgeSyncInterval = milliseconds(opt.kbSyncMs);
+  if (plan) popts.faults = plan->ingestFaults();
+  pipeline::KalisEngineOptions eopts;
+  eopts.seedBase = 99;
+  eopts.drainUntil = seconds(80);
+  eopts.configure = [](ids::KalisNode& node) { node.useStandardLibrary(); };
+  pipeline::Pipeline pipe(popts, pipeline::makeKalisEngineFactory(eopts));
+  pipe.setAlertSink([](const ids::Alert& alert) {
+    std::printf("REPLAY ALERT  %s\n", ids::toString(alert).c_str());
+  });
+  std::printf("Replaying through kalis::pipeline (%s, %zu shard%s%s)\n",
+              popts.deterministic ? "deterministic" : "threaded",
+              pipe.shardCount(), pipe.shardCount() == 1 ? "" : "s",
+              opt.kbSync ? ", knowledge exchange on" : "");
+  pipe.start();
+  // Unified ingestion seam: enqueueFrom drains the source through the
+  // batched producer path in 1024-packet chunks (deterministic mode
+  // processes inline, bit-identical to per-packet enqueue).
+  pipe.enqueueFrom(source);
+  pipe.stop();
+
+  double rate = 0.0;
+  if (truth) {
+    const auto eval = metrics::evaluate(*truth, pipe.alerts());
+    rate = eval.detectionRate();
+    std::printf("\nOffline detection rate over the replayed trace: %.0f%%\n",
+                rate * 100.0);
+  }
+  const pipeline::Pipeline::Stats stats = pipe.stats();
+  std::printf("Pipeline: %llu enqueued, %llu processed, %llu dropped\n",
+              static_cast<unsigned long long>(stats.enqueued),
+              static_cast<unsigned long long>(stats.processed),
+              static_cast<unsigned long long>(stats.dropped()));
+  if (opt.kbSync) {
+    std::printf("Knowledge exchange: %llu published, %llu applied, "
+                "%llu rejected, %llu dropped in flight\n",
+                static_cast<unsigned long long>(stats.knowledgePublished),
+                static_cast<unsigned long long>(stats.knowledgeApplied),
+                static_cast<unsigned long long>(stats.knowledgeRejected),
+                static_cast<unsigned long long>(stats.knowledgeDroppedInFlight));
+  }
+
+  obs::Registry reg;
+  pipe.collectMetrics(reg, "pipeline");
+  const std::string metricsPath =
+      metrics::metricsOutputPath("trace_replay.metrics.json");
+  std::ofstream outFile(metricsPath, std::ios::trunc);
+  outFile << reg.toJson();
+  std::printf("Replay metrics written to %s\n",
+              outFile ? metricsPath.c_str() : "<failed>");
+  if (!truth) return 0;
+  // Under an active fault plan detection may legitimately degrade; the
+  // run reports, it does not gate.
+  return plan ? 0 : (rate > 0.99 ? 0 : 1);
+}
+
+/// Replay through a directly-fed Kalis node: a *fresh* node on a fresh
+/// virtual clock consumes the source packet by packet — the same replayFeed
+/// step the pipeline shard engines use, so alerts match the pipeline's
+/// deterministic mode byte for byte. `truth` as in replayPipeline.
+int replayDirect(net::PacketSource& source, const chaos::FaultPlan* plan,
+                 const metrics::GroundTruth* truth) {
+  sim::Simulator replaySim(99);
+  ids::KalisNode kalisBox(replaySim);
+  kalisBox.useStandardLibrary();
+  kalisBox.setAlertSink([](const ids::Alert& alert) {
+    std::printf("REPLAY ALERT  %s\n", ids::toString(alert).c_str());
+  });
+  kalisBox.start();
+  kalisBox.consume(source);
+  replaySim.runUntil(seconds(80));
+
+  double rate = 0.0;
+  if (truth) {
+    const auto eval = metrics::evaluate(*truth, kalisBox.alerts());
+    rate = eval.detectionRate();
+    std::printf("\nOffline detection rate over the replayed trace: %.0f%%\n",
+                rate * 100.0);
+  }
+
+  // Dump the kalis::obs snapshot of the replay run ($KALIS_METRICS_OUT
+  // overrides the path) — the same artifact the bench binaries emit.
+  const std::string metricsPath = metrics::exportMetricsJson(
+      kalisBox, replaySim, "trace_replay", "trace_replay.metrics.json");
+  std::printf("Replay metrics written to %s\n",
+              metricsPath.empty() ? "<failed>" : metricsPath.c_str());
+  if (!truth) return 0;
+  return plan ? 0 : (rate > 0.99 ? 0 : 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = 21;
-  bool usePipeline = false;
-  std::size_t workers = 4;
-  std::size_t fleetHomes = 0;
-  std::size_t fleetRegions = 16;
-  bool kbSync = false;
-  std::uint64_t kbSyncMs = 10;
-  std::optional<chaos::FaultPlan> chaosPlan;
-  bool chaosDiff = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--pipeline") == 0) {
-      usePipeline = true;
-    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      workers = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--kb-sync") == 0 && i + 1 < argc) {
-      kbSync = true;
-      kbSyncMs = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
-      fleetHomes = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--regions") == 0 && i + 1 < argc) {
-      fleetRegions =
-          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if ((std::strcmp(argv[i], "--chaos") == 0 ||
-                std::strcmp(argv[i], "--chaos-diff") == 0) &&
-               i + 1 < argc) {
-      chaosDiff = std::strcmp(argv[i], "--chaos-diff") == 0;
-      std::string error;
-      chaosPlan = chaos::FaultPlan::parse(argv[++i], &error);
-      if (!chaosPlan) {
-        std::fprintf(stderr, "bad fault plan: %s\n", error.c_str());
-        return 2;
-      }
-    } else {
-      seed = std::strtoull(argv[i], nullptr, 10);
+  const std::optional<ReplayOptions> parsed = parseReplayOptions(argc, argv);
+  if (!parsed) return 2;
+  const ReplayOptions& opt = *parsed;
+  if (opt.help) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  if (opt.fleetHomes > 0) {
+    return runFleetReplay(opt.fleetHomes, opt.fleetRegions, opt.workers,
+                          opt.seed);
+  }
+  if (opt.chaosDiff) return runChaosDiff(opt.seed, *opt.chaosPlan, opt.workers);
+
+  const chaos::FaultPlan* plan = opt.chaosPlan ? &*opt.chaosPlan : nullptr;
+
+  // --pcap: skip the simulator entirely and replay a recorded capture file
+  // through the very same engines. A file written by --dump-pcap preserves
+  // RxMeta losslessly, so this run's SIEM stream is byte-identical to the
+  // in-memory replay that produced the dump.
+  if (!opt.pcapIn.empty()) {
+    auto source = trace::openPcapSource(opt.pcapIn);
+    if (!source) {
+      std::fprintf(stderr, "trace_replay: cannot read pcap file %s\n",
+                   opt.pcapIn.c_str());
+      return 2;
     }
+    std::printf("Replaying %zu packets from %s\n", source->remaining(),
+                opt.pcapIn.c_str());
+    return opt.usePipeline ? replayPipeline(*source, opt, plan, nullptr)
+                           : replayDirect(*source, plan, nullptr);
   }
 
-  if (fleetHomes > 0) {
-    return runFleetReplay(fleetHomes, fleetRegions, workers, seed);
-  }
-  if (chaosDiff) return runChaosDiff(seed, *chaosPlan, workers);
-
-  const chaos::FaultPlan* plan = chaosPlan ? &*chaosPlan : nullptr;
   chaos::LinkChaos::Stats chaosTally;
   if (plan) {
     std::printf("Chaos plan active: %s\n", plan->describe().c_str());
@@ -252,10 +464,10 @@ int main(int argc, char** argv) {
 
   // 1. Record benign traffic and, separately, an attack run.
   const trace::Trace benign =
-      captureTrace(seed, false, nullptr, plan, &chaosTally);
+      captureTrace(opt.seed, false, nullptr, plan, &chaosTally);
   metrics::GroundTruth truth;
   const trace::Trace withAttack =
-      captureTrace(seed + 1, true, &truth, plan, &chaosTally);
+      captureTrace(opt.seed + 1, true, &truth, plan, &chaosTally);
   std::printf("Recorded %zu benign packets and %zu attack-run packets\n",
               benign.size(), withAttack.size());
   if (plan) {
@@ -273,96 +485,27 @@ int main(int argc, char** argv) {
   //    exactly what the Data Store's log/replay path does.
   const trace::Trace merged = trace::mergeTraces(benign, withAttack);
   const Bytes fileBytes = trace::serializeTrace(merged);
-  const auto reloaded = trace::readTrace(BytesView(fileBytes));
+  auto reloaded = trace::readTrace(BytesView(fileBytes));
   std::printf("KTRC round trip: %zu packets (%zu bytes on disk)%s\n",
               reloaded.packets.size(), fileBytes.size(),
               reloaded.truncated ? " [TRUNCATED]" : "");
 
-  // 3. Replay the trace "as if operating on live traffic".
-  if (usePipeline) {
-    // Sharded ingestion: hash-route by link-layer source into `workers`
-    // Kalis shard engines; alerts emerge from the ordered merge stage.
-    pipeline::Options popts;
-    popts.deterministic = workers == 0;
-    popts.workers = workers == 0 ? 1 : workers;
-    popts.policy = pipeline::Backpressure::kBlock;
-    popts.knowledgeExchange = kbSync;
-    popts.knowledgeSyncInterval = milliseconds(kbSyncMs);
-    if (plan) popts.faults = plan->ingestFaults();
-    pipeline::KalisEngineOptions eopts;
-    eopts.seedBase = 99;
-    eopts.drainUntil = seconds(80);
-    eopts.configure = [](ids::KalisNode& node) { node.useStandardLibrary(); };
-    pipeline::Pipeline pipe(popts, pipeline::makeKalisEngineFactory(eopts));
-    pipe.setAlertSink([](const ids::Alert& alert) {
-      std::printf("REPLAY ALERT  %s\n", ids::toString(alert).c_str());
-    });
-    std::printf("Replaying through kalis::pipeline (%s, %zu shard%s%s)\n",
-                popts.deterministic ? "deterministic" : "threaded",
-                pipe.shardCount(), pipe.shardCount() == 1 ? "" : "s",
-                kbSync ? ", knowledge exchange on" : "");
-    pipe.start();
-    // Batched producer path: one ring lock + at most one worker wake-up per
-    // shard per chunk (deterministic mode processes inline, bit-identical).
-    constexpr std::size_t kChunk = 1024;
-    for (std::size_t i = 0; i < reloaded.packets.size(); i += kChunk) {
-      const std::size_t n = std::min(kChunk, reloaded.packets.size() - i);
-      pipe.enqueueBatch(reloaded.packets.data() + i, n);
-    }
-    pipe.stop();
-
-    const auto eval = metrics::evaluate(truth, pipe.alerts());
-    std::printf("\nOffline detection rate over the replayed trace: %.0f%%\n",
-                eval.detectionRate() * 100.0);
-    const pipeline::Pipeline::Stats stats = pipe.stats();
-    std::printf("Pipeline: %llu enqueued, %llu processed, %llu dropped\n",
-                static_cast<unsigned long long>(stats.enqueued),
-                static_cast<unsigned long long>(stats.processed),
-                static_cast<unsigned long long>(stats.dropped()));
-    if (kbSync) {
-      std::printf("Knowledge exchange: %llu published, %llu applied, "
-                  "%llu rejected, %llu dropped in flight\n",
-                  static_cast<unsigned long long>(stats.knowledgePublished),
-                  static_cast<unsigned long long>(stats.knowledgeApplied),
-                  static_cast<unsigned long long>(stats.knowledgeRejected),
-                  static_cast<unsigned long long>(stats.knowledgeDroppedInFlight));
-    }
-
-    obs::Registry reg;
-    pipe.collectMetrics(reg, "pipeline");
-    const std::string metricsPath =
-        metrics::metricsOutputPath("trace_replay.metrics.json");
-    std::ofstream outFile(metricsPath, std::ios::trunc);
-    outFile << reg.toJson();
-    std::printf("Replay metrics written to %s\n",
-                outFile ? metricsPath.c_str() : "<failed>");
-    // Under an active fault plan detection may legitimately degrade; the
-    // run reports, it does not gate.
-    return plan ? 0 : (eval.detectionRate() > 0.99 ? 0 : 1);
+  // 2b. --dump-pcap: write the exact packet sequence the replay below will
+  //     consume (post-KTRC-roundtrip) as a mixed-medium pcap, so a later
+  //     --pcap run reproduces this run's SIEM stream byte for byte.
+  if (!opt.pcapOut.empty()) {
+    trace::PcapWriter writer(net::kDltKalisMixed);
+    for (const net::CapturedPacket& pkt : reloaded.packets) writer.append(pkt);
+    const bool ok = writer.writeFile(opt.pcapOut);
+    std::printf("Pcap dump: %zu packets (%zu bytes) written to %s\n",
+                reloaded.packets.size(), writer.buffer().size(),
+                ok ? opt.pcapOut.c_str() : "<failed>");
+    if (!ok) return 2;
   }
 
-  // Direct path: a *fresh* Kalis node on a fresh virtual clock; detection
-  // modules are none the wiser.
-  sim::Simulator replaySim(99);
-  ids::KalisNode kalisBox(replaySim);
-  kalisBox.useStandardLibrary();
-  kalisBox.setAlertSink([](const ids::Alert& alert) {
-    std::printf("REPLAY ALERT  %s\n", ids::toString(alert).c_str());
-  });
-  kalisBox.start();
-  trace::replayInto(replaySim, reloaded.packets,
-                    [&](const net::CapturedPacket& pkt) { kalisBox.feed(pkt); });
-  replaySim.runUntil(seconds(80));
-
-  const auto eval = metrics::evaluate(truth, kalisBox.alerts());
-  std::printf("\nOffline detection rate over the replayed trace: %.0f%%\n",
-              eval.detectionRate() * 100.0);
-
-  // Dump the kalis::obs snapshot of the replay run ($KALIS_METRICS_OUT
-  // overrides the path) — the same artifact the bench binaries emit.
-  const std::string metricsPath = metrics::exportMetricsJson(
-      kalisBox, replaySim, "trace_replay", "trace_replay.metrics.json");
-  std::printf("Replay metrics written to %s\n",
-              metricsPath.empty() ? "<failed>" : metricsPath.c_str());
-  return plan ? 0 : (eval.detectionRate() > 0.99 ? 0 : 1);
+  // 3. Replay the trace "as if operating on live traffic", via the unified
+  //    PacketSource seam — the same path a pcap or KTRC file takes.
+  net::VectorPacketSource source(std::move(reloaded.packets));
+  return opt.usePipeline ? replayPipeline(source, opt, plan, &truth)
+                         : replayDirect(source, plan, &truth);
 }

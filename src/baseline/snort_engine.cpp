@@ -2,9 +2,17 @@
 
 #include <algorithm>
 
+#include "net/medium_dlt.hpp"
+
 namespace kalis::baseline {
 
 namespace {
+
+/// The baseline's capture DLT restriction, expressed through the shared
+/// medium↔DLT table (net/medium_dlt.hpp) instead of ad-hoc medium checks.
+bool capturable(net::Medium medium) {
+  return net::dltForMedium(medium) == net::kDltIeee80211;
+}
 
 /// Work-unit cost of evaluating one rule against one packet: header checks
 /// plus a payload scan per content pattern. Deliberately coarse — it is the
@@ -30,7 +38,7 @@ std::size_t SnortEngine::loadRules(std::string_view text) {
 }
 
 void SnortEngine::onPacket(const net::CapturedPacket& pkt) {
-  if (pkt.medium != net::Medium::kWifi) {
+  if (!capturable(pkt.medium)) {
     ++packetsUnparsed_;
     return;
   }
@@ -39,9 +47,11 @@ void SnortEngine::onPacket(const net::CapturedPacket& pkt) {
 
 void SnortEngine::onPacket(const net::CapturedPacket& pkt,
                            const net::Dissection& dis) {
-  // Snort's capture stack is libpcap on the WiFi interface: 802.15.4 and BLE
-  // frames never reach it.
-  if (pkt.medium != net::Medium::kWifi) {
+  // Snort's capture stack is libpcap bound to an interface whose link type
+  // is DLT_IEEE802_11 — the same net::MediumDlt row trace::PcapReader uses
+  // for WiFi files. Frames on other link types (DLT 195 802.15.4, DLT 251
+  // BLE) never reach it.
+  if (!capturable(pkt.medium)) {
     ++packetsUnparsed_;
     return;
   }

@@ -27,6 +27,7 @@
 #include "kalis/knowledge.hpp"
 #include "kalis/module_manager.hpp"
 #include "kalis/module_registry.hpp"
+#include "net/packet_source.hpp"
 #include "sim/world.hpp"
 
 namespace kalis::ids {
@@ -82,7 +83,9 @@ class KalisNode {
               std::initializer_list<net::Medium> media);
   /// Direct packet feed (trace replay, tests). The overload without a
   /// Dissection dissects internally; the one taking a shared Dissection is
-  /// the zero-copy path (dis must alias pkt.raw).
+  /// the zero-copy path (dis must alias pkt.raw). Superseded as an
+  /// ingestion entry point by consume() — kept for per-packet callers
+  /// (sniffer attachments, pipeline shard engines, tests).
   void feed(const net::CapturedPacket& pkt);
   void feed(const net::CapturedPacket& pkt, const net::Dissection& dis);
   /// Replay feed: first advances this node's simulator clock to the packet's
@@ -90,8 +93,14 @@ class KalisNode {
   /// would — then feeds it. This is the per-packet step of the synchronous
   /// replay path and of kalis::pipeline shard engines; only meaningful when
   /// this node (and its peers, if any) are the sole users of the simulator.
+  /// Superseded as an ingestion entry point by consume().
   void replayFeed(const net::CapturedPacket& pkt);
   void replayFeed(const net::CapturedPacket& pkt, const net::Dissection& dis);
+  /// Unified ingestion seam: drains a PacketSource (simulator capture,
+  /// KTRC trace, pcap file — anything implementing the pull interface)
+  /// through the replay-feed path, packet by packet, in capture order.
+  /// Returns the number of packets consumed.
+  std::size_t consume(net::PacketSource& source);
 
   /// Starts the module manager and the periodic tick. Call once.
   void start();

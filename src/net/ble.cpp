@@ -6,11 +6,13 @@ template <class Storage>
 Bytes BleAdvPduT<Storage>::encode() const {
   Bytes out;
   ByteWriter w(out);
-  w.u8(static_cast<std::uint8_t>(type) & 0x0f);
+  w.u8(static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(type) & 0x0f) | headerExtra));
   w.u8(static_cast<std::uint8_t>(6 + advData.size()));
   // BLE transmits the advertiser address least-significant byte first.
   for (int i = 5; i >= 0; --i) w.u8(advAddr.bytes[static_cast<std::size_t>(i)]);
   w.raw(advData);
+  w.raw(trailer);
   return out;
 }
 
@@ -21,12 +23,15 @@ std::optional<BleAdvPduView> decodeBleAdv(BytesView raw) {
   if (raw.size() < 8) return std::nullopt;
   ByteReader r(raw);
   BleAdvPduView p;
-  p.type = static_cast<BlePduType>(*r.u8() & 0x0f);
+  const std::uint8_t hdr = *r.u8();
+  p.type = static_cast<BlePduType>(hdr & 0x0f);
+  p.headerExtra = hdr & 0xf0;
   const std::uint8_t len = *r.u8();
   if (len < 6 || raw.size() < 2u + len) return std::nullopt;
   auto addr = *r.take(6);
   for (std::size_t i = 0; i < 6; ++i) p.advAddr.bytes[i] = addr[5 - i];
   p.advData = *r.take(len - 6u);  // aliases `raw`
+  p.trailer = r.rest();           // ditto
   return p;
 }
 

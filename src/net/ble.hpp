@@ -30,6 +30,10 @@ struct BleAdvPduT {
   BlePduType type = BlePduType::kAdvInd;
   Mac48 advAddr{};
   Storage advData{};
+  // Wire-preservation fields (packetlib discipline); builders leave the
+  // defaults, the parser fills them in so encode(decode(x)) == x.
+  std::uint8_t headerExtra = 0;  ///< header bits outside the type nibble
+  Storage trailer{};             ///< bytes past the advertised length
 
   Bytes encode() const;
 };

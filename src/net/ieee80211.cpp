@@ -40,14 +40,15 @@ template <class Storage>
 Bytes WifiFrameT<Storage>::encode() const {
   Bytes out;
   ByteWriter w(out);
-  const FcBits fc = fcBitsFor(kind);
+  FcBits fc = fcBitsFor(kind);
+  if (kind == WifiFrameKind::kData) fc.subtype = dataSubtype;
   w.u8(static_cast<std::uint8_t>((fc.subtype << 4) | (fc.type << 2)));
-  std::uint8_t fc1 = 0;
+  std::uint8_t fc1 = fc1Extra;
   if (toDs) fc1 |= 0x01;
   if (fromDs) fc1 |= 0x02;
   if (protectedFrame) fc1 |= 0x40;
   w.u8(fc1);
-  w.u16le(0);  // duration
+  w.u16le(duration);
   // Physical address ordering depends on direction bits.
   if (toDs && !fromDs) {
     writeMac(w, bssid);
@@ -64,7 +65,7 @@ Bytes WifiFrameT<Storage>::encode() const {
   }
   w.u16le(seqCtl);
   w.raw(body);
-  w.u32le(crc32(BytesView(out)));
+  w.u32le(wireFcs ? *wireFcs : crc32(BytesView(out)));
   return out;
 }
 
@@ -76,7 +77,7 @@ std::optional<WifiDecoded> decodeWifi(BytesView raw) {
   ByteReader r(raw);
   auto fc0 = *r.u8();
   auto fc1 = *r.u8();
-  r.u16le();  // duration
+  auto duration = *r.u16le();
   if ((fc0 & 0x03) != 0) return std::nullopt;  // protocol version must be 0
 
   WifiDecoded d;
@@ -84,6 +85,7 @@ std::optional<WifiDecoded> decodeWifi(BytesView raw) {
   const std::uint8_t subtype = (fc0 >> 4) & 0xf;
   if (type == 2) {
     d.frame.kind = WifiFrameKind::kData;
+    d.frame.dataSubtype = subtype;
   } else if (type == 0 && subtype == 8) {
     d.frame.kind = WifiFrameKind::kBeacon;
   } else if (type == 0 && subtype == 4) {
@@ -96,6 +98,8 @@ std::optional<WifiDecoded> decodeWifi(BytesView raw) {
   d.frame.toDs = fc1 & 0x01;
   d.frame.fromDs = fc1 & 0x02;
   d.frame.protectedFrame = fc1 & 0x40;
+  d.frame.fc1Extra = fc1 & static_cast<std::uint8_t>(~0x43);
+  d.frame.duration = duration;
 
   const Mac48 a1 = readMac(r);
   const Mac48 a2 = readMac(r);
@@ -118,6 +122,7 @@ std::optional<WifiDecoded> decodeWifi(BytesView raw) {
   const std::size_t bodyLen = r.remaining() - 4;
   d.frame.body = *r.take(bodyLen);  // aliases `raw`
   auto fcs = *r.u32le();
+  d.frame.wireFcs = fcs;
   d.fcsValid = (fcs == crc32(raw.subspan(0, raw.size() - 4)));
   return d;
 }

@@ -40,6 +40,15 @@ struct WifiFrameT {
   std::uint16_t seqCtl = 0;
   /// For data frames: LLC/SNAP + network payload. For beacons: the SSID.
   Storage body{};
+  // Wire-preservation fields (packetlib discipline: the parser keeps every
+  // bit so encode(decode(x)) == x). Builders leave the defaults, which
+  // reproduce the historical encoder output byte-for-byte.
+  std::uint8_t dataSubtype = 0;  ///< fc subtype nibble of a data frame (QoS…)
+  std::uint8_t fc1Extra = 0;     ///< fc byte 1 bits outside toDS/fromDS/prot
+  std::uint16_t duration = 0;    ///< duration/ID field, verbatim
+  /// FCS as seen on the wire; parsers always set it (valid or not), builders
+  /// leave it unset and get a freshly computed CRC-32.
+  std::optional<std::uint32_t> wireFcs{};
 
   Bytes encode() const;
 };

@@ -5,13 +5,11 @@
 namespace kalis::net {
 
 namespace {
-// FCF bit positions (subset we use).
+// FCF bit positions (subset we decode into named fields; everything else
+// lands in fcfExtra).
 constexpr std::uint16_t kFrameTypeMask = 0x0007;
 constexpr std::uint16_t kSecurityBit = 0x0008;
 constexpr std::uint16_t kAckRequestBit = 0x0020;
-constexpr std::uint16_t kPanCompressionBit = 0x0040;
-constexpr std::uint16_t kDstShortMode = 0x0800;   // dst addressing mode = 2
-constexpr std::uint16_t kSrcShortMode = 0x8000;   // src addressing mode = 2
 }  // namespace
 
 template <class Storage>
@@ -21,14 +19,14 @@ Bytes Ieee802154FrameT<Storage>::encode() const {
   std::uint16_t fcf = static_cast<std::uint16_t>(type) & kFrameTypeMask;
   if (securityEnabled) fcf |= kSecurityBit;
   if (ackRequest) fcf |= kAckRequestBit;
-  fcf |= kPanCompressionBit | kDstShortMode | kSrcShortMode;
+  fcf |= fcfExtra;
   w.u16le(fcf);
   w.u8(seq);
   w.u16le(panId);
   w.u16le(dst.value);
   w.u16le(src.value);
   w.raw(payload);
-  w.u16le(crc16Ccitt(BytesView(out)));
+  w.u16le(wireFcs ? *wireFcs : crc16Ccitt(BytesView(out)));
   return out;
 }
 
@@ -49,6 +47,9 @@ std::optional<Ieee802154Decoded> decodeIeee802154(BytesView raw) {
   d.frame.type = static_cast<WpanFrameType>(*fcf & kFrameTypeMask);
   d.frame.securityEnabled = (*fcf & kSecurityBit) != 0;
   d.frame.ackRequest = (*fcf & kAckRequestBit) != 0;
+  d.frame.fcfExtra =
+      *fcf & static_cast<std::uint16_t>(
+                 ~(kFrameTypeMask | kSecurityBit | kAckRequestBit));
   d.frame.seq = *seq;
   d.frame.panId = *pan;
   d.frame.dst = Mac16{*dst};
@@ -58,6 +59,7 @@ std::optional<Ieee802154Decoded> decodeIeee802154(BytesView raw) {
   auto payload = r.take(payloadLen);
   auto fcs = r.u16le();
   d.frame.payload = *payload;  // aliases `raw`
+  d.frame.wireFcs = *fcs;
   d.fcsValid = (*fcs == crc16Ccitt(raw.subspan(0, raw.size() - 2)));
   return d;
 }

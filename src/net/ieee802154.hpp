@@ -36,8 +36,20 @@ struct Ieee802154FrameT {
   Mac16 dst{Mac16::kBroadcast};
   Mac16 src{0};
   Storage payload{};
+  /// FCF bits outside type/security/ack — addressing modes, PAN compression,
+  /// frame pending, version. The parser keeps them verbatim so that
+  /// encode(decode(x)) reproduces x bit-for-bit (packetlib discipline); the
+  /// default is what builders always emitted: PAN-id compression + 16-bit
+  /// addressing both ways.
+  std::uint16_t fcfExtra = kDefaultFcfExtra;
+  /// FCS as seen on the wire. Parsers always set it (even when invalid —
+  /// an IDS must be able to re-emit corrupt traffic unchanged); builders
+  /// leave it unset and get a freshly computed CRC.
+  std::optional<std::uint16_t> wireFcs{};
 
-  /// Serializes the frame including a freshly computed FCS.
+  static constexpr std::uint16_t kDefaultFcfExtra = 0x8840;
+
+  /// Serializes the frame; FCS is wireFcs when set, else computed.
   Bytes encode() const;
 };
 

@@ -7,18 +7,22 @@ namespace kalis::net {
 Bytes Ipv4Header::encode(BytesView payload) const {
   Bytes out;
   ByteWriter w(out);
-  w.u8(0x45);  // version 4, IHL 5
+  const std::size_t ihl = 20 + options.size();
+  w.u8(static_cast<std::uint8_t>(0x40 | (ihl / 4)));
   w.u8(tos);
-  w.u16be(static_cast<std::uint16_t>(20 + payload.size()));
+  w.u16be(wireTotalLen ? *wireTotalLen
+                       : static_cast<std::uint16_t>(ihl + payload.size()));
   w.u16be(identification);
-  w.u16be(0x4000);  // flags: DF, fragment offset 0
+  w.u16be(flagsFrag);
   w.u8(ttl);
   w.u8(static_cast<std::uint8_t>(protocol));
   const std::size_t checksumOffset = out.size();
   w.u16be(0);
   w.u32be(src.value);
   w.u32be(dst.value);
-  w.patchU16be(checksumOffset, internetChecksum(BytesView(out)));
+  w.raw(options);
+  w.patchU16be(checksumOffset,
+               wireChecksum ? *wireChecksum : internetChecksum(BytesView(out)));
   w.raw(payload);
   return out;
 }
@@ -33,14 +37,14 @@ std::optional<Ipv4Decoded> decodeIpv4(BytesView raw) {
   auto tos = r.u8();
   auto totalLen = r.u16be();
   auto ident = r.u16be();
-  r.u16be();  // flags/fragment
+  auto flagsFrag = r.u16be();
   auto ttl = r.u8();
   auto proto = r.u8();
-  r.u16be();  // checksum (validated over the whole header below)
+  auto checksum = r.u16be();  // validated over the whole header below
   auto src = r.u32be();
   auto dst = r.u32be();
   if (!dst) return std::nullopt;
-  r.skip(ihl - 20);
+  auto options = r.take(ihl - 20);
 
   Ipv4Decoded d;
   d.header.tos = *tos;
@@ -49,11 +53,16 @@ std::optional<Ipv4Decoded> decodeIpv4(BytesView raw) {
   d.header.protocol = static_cast<IpProto>(*proto);
   d.header.src = Ipv4Addr{*src};
   d.header.dst = Ipv4Addr{*dst};
+  d.header.options = *options;  // aliases `raw`
+  d.header.flagsFrag = *flagsFrag;
+  d.header.wireChecksum = *checksum;
+  d.header.wireTotalLen = *totalLen;
   d.checksumValid = internetChecksum(raw.subspan(0, ihl)) == 0;
 
   std::size_t payloadLen = *totalLen >= ihl ? *totalLen - ihl : 0;
   if (payloadLen > raw.size() - ihl) payloadLen = raw.size() - ihl;
-  d.payload = raw.subspan(ihl, payloadLen);  // aliases `raw`
+  d.payload = raw.subspan(ihl, payloadLen);   // aliases `raw`
+  d.trailer = raw.subspan(ihl + payloadLen);  // totalLength slack, ditto
   return d;
 }
 

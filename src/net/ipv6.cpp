@@ -11,7 +11,8 @@ Bytes Ipv6Header::encode(BytesView payload) const {
                             (static_cast<std::uint32_t>(trafficClass) << 20) |
                             (flowLabel & 0xfffff);
   w.u32be(vtf);
-  w.u16be(static_cast<std::uint16_t>(payload.size()));
+  w.u16be(wirePayloadLen ? *wirePayloadLen
+                         : static_cast<std::uint16_t>(payload.size()));
   w.u8(nextHeader);
   w.u8(hopLimit);
   w.raw(BytesView(src.bytes.data(), src.bytes.size()));
@@ -35,9 +36,11 @@ std::optional<Ipv6Decoded> decodeIpv6(BytesView raw) {
   auto dstBytes = *r.take(16);
   std::copy(srcBytes.begin(), srcBytes.end(), d.header.src.bytes.begin());
   std::copy(dstBytes.begin(), dstBytes.end(), d.header.dst.bytes.begin());
+  d.header.wirePayloadLen = payloadLen;
   std::size_t len = payloadLen;
   if (len > r.remaining()) len = r.remaining();
   d.payload = *r.take(len);  // aliases `raw`
+  d.trailer = r.rest();      // payloadLength slack, ditto
   return d;
 }
 
@@ -64,10 +67,14 @@ Bytes Icmpv6MessageT<Storage>::encode(const Ipv6Addr& src, const Ipv6Addr& dst) 
   const std::size_t checksumOffset = out.size();
   w.u16be(0);
   w.raw(body);
-  const Bytes pseudo =
-      ipv6PseudoHeader(src, dst, static_cast<std::uint32_t>(out.size()),
-                       static_cast<std::uint8_t>(IpProto::kIcmpv6));
-  w.patchU16be(checksumOffset, internetChecksum2(pseudo, BytesView(out)));
+  if (wireChecksum) {
+    w.patchU16be(checksumOffset, *wireChecksum);
+  } else {
+    const Bytes pseudo =
+        ipv6PseudoHeader(src, dst, static_cast<std::uint32_t>(out.size()),
+                         static_cast<std::uint8_t>(IpProto::kIcmpv6));
+    w.patchU16be(checksumOffset, internetChecksum2(pseudo, BytesView(out)));
+  }
   return out;
 }
 
@@ -81,7 +88,7 @@ std::optional<Icmpv6Decoded> decodeIcmpv6(BytesView raw, const Ipv6Addr& src,
   Icmpv6Decoded d;
   d.message.type = static_cast<Icmpv6Type>(*r.u8());
   d.message.code = *r.u8();
-  r.u16be();  // checksum
+  d.message.wireChecksum = *r.u16be();
   d.message.body = r.rest();  // aliases `raw`
   const Bytes pseudo =
       ipv6PseudoHeader(src, dst, static_cast<std::uint32_t>(raw.size()),
@@ -96,10 +103,10 @@ Bytes RplDio::encodeBody() const {
   w.u8(instanceId);
   w.u8(versionNumber);
   w.u16be(rank);
-  w.u8(0);  // G/MOP/Prf flags
+  w.u8(groundedMopPrf);
   w.u8(dtsn);
-  w.u8(0);  // flags
-  w.u8(0);  // reserved
+  w.u8(flags);
+  w.u8(reserved);
   w.raw(BytesView(dodagId.bytes.data(), dodagId.bytes.size()));
   return out;
 }
@@ -111,10 +118,10 @@ std::optional<RplDio> decodeRplDio(BytesView body) {
   d.instanceId = *r.u8();
   d.versionNumber = *r.u8();
   d.rank = *r.u16be();
-  r.u8();
+  d.groundedMopPrf = *r.u8();
   d.dtsn = *r.u8();
-  r.u8();
-  r.u8();
+  d.flags = *r.u8();
+  d.reserved = *r.u8();
   auto id = *r.take(16);
   std::copy(id.begin(), id.end(), d.dodagId.bytes.begin());
   return d;
@@ -124,8 +131,8 @@ Bytes RplDao::encodeBody() const {
   Bytes out;
   ByteWriter w(out);
   w.u8(instanceId);
-  w.u8(0x40);  // K flag: ack requested
-  w.u8(0);     // reserved
+  w.u8(kdFlags);
+  w.u8(reserved);
   w.u8(daoSequence);
   w.raw(BytesView(dodagId.bytes.data(), dodagId.bytes.size()));
   w.raw(BytesView(target.bytes.data(), target.bytes.size()));
@@ -137,8 +144,8 @@ std::optional<RplDao> decodeRplDao(BytesView body) {
   ByteReader r(body);
   RplDao d;
   d.instanceId = *r.u8();
-  r.u8();
-  r.u8();
+  d.kdFlags = *r.u8();
+  d.reserved = *r.u8();
   d.daoSequence = *r.u8();
   auto id = *r.take(16);
   std::copy(id.begin(), id.end(), d.dodagId.bytes.begin());

@@ -18,6 +18,10 @@ struct Ipv6Header {
   std::uint8_t hopLimit = 64;
   Ipv6Addr src{};
   Ipv6Addr dst{};
+  /// Payload length as seen on the wire; the parser always sets it (even when
+  /// it disagrees with the actual payload), builders leave it unset and get
+  /// the real payload size. Packetlib discipline: encode(decode(x)) == x.
+  std::optional<std::uint16_t> wirePayloadLen{};
 
   Bytes encode(BytesView payload) const;
 };
@@ -25,6 +29,8 @@ struct Ipv6Header {
 struct Ipv6Decoded {
   Ipv6Header header;
   BytesView payload;  ///< aliases the decoded buffer
+  /// Bytes past payloadLength (link-layer slack), aliases the buffer.
+  BytesView trailer;
 };
 
 std::optional<Ipv6Decoded> decodeIpv6(BytesView raw);
@@ -54,8 +60,12 @@ struct Icmpv6MessageT {
   Icmpv6Type type = Icmpv6Type::kEchoRequest;
   std::uint8_t code = 0;
   Storage body{};
+  /// Checksum as seen on the wire; parsers always set it (valid or not),
+  /// builders leave it unset and get a pseudo-header computed one.
+  std::optional<std::uint16_t> wireChecksum{};
 
-  /// Serializes with the checksum over the IPv6 pseudo-header.
+  /// Serializes with the checksum over the IPv6 pseudo-header (or the
+  /// verbatim wire checksum when set).
   Bytes encode(const Ipv6Addr& src, const Ipv6Addr& dst) const;
 };
 
@@ -80,6 +90,10 @@ struct RplDio {
   std::uint16_t rank = 0;
   std::uint8_t dtsn = 0;
   Ipv6Addr dodagId{};
+  // Wire-preservation: bytes the detectors ignore but the codec must keep.
+  std::uint8_t groundedMopPrf = 0;  ///< byte 4: G / MOP / Prf
+  std::uint8_t flags = 0;           ///< byte 6
+  std::uint8_t reserved = 0;        ///< byte 7
 
   Bytes encodeBody() const;
 };
@@ -92,6 +106,9 @@ struct RplDao {
   std::uint8_t daoSequence = 0;
   Ipv6Addr dodagId{};
   Ipv6Addr target{};
+  // Wire-preservation: bytes the detectors ignore but the codec must keep.
+  std::uint8_t kdFlags = 0x40;  ///< byte 1: K/D flags (default: ack requested)
+  std::uint8_t reserved = 0;    ///< byte 2
 
   Bytes encodeBody() const;
 };

@@ -1,0 +1,28 @@
+#include "net/medium_dlt.hpp"
+
+namespace kalis::net {
+
+std::uint32_t dltForMedium(Medium m) {
+  for (const auto& row : kMediumDltTable) {
+    if (row.medium == m) return row.dlt;
+  }
+  return kDltRaw;
+}
+
+std::optional<Medium> mediumForDlt(std::uint32_t dlt) {
+  for (const auto& row : kMediumDltTable) {
+    if (row.dlt == dlt) return row.medium;
+  }
+  return std::nullopt;
+}
+
+const char* dltName(std::uint32_t dlt) {
+  if (dlt == kDltKalisMixed) return "USER0";
+  if (dlt == kDltRaw) return "RAW";
+  for (const auto& row : kMediumDltTable) {
+    if (row.dlt == dlt) return row.name;
+  }
+  return nullptr;
+}
+
+}  // namespace kalis::net

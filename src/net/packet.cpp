@@ -88,6 +88,8 @@ void classifyTcp(Dissection& d) {
 
 void dissectIpv4Payload(Dissection& d, const Ipv4Decoded& ip) {
   d.ipv4 = ip.header;
+  d.l3Payload = ip.payload;
+  d.l3Trailer = ip.trailer;
   switch (ip.header.protocol) {
     case IpProto::kTcp: {
       if (auto t = decodeTcp(ip.payload, ip.header.src, ip.header.dst)) {
@@ -103,6 +105,7 @@ void dissectIpv4Payload(Dissection& d, const Ipv4Decoded& ip) {
       if (auto u = decodeUdp(ip.payload, ip.header.src, ip.header.dst)) {
         d.udp = u->datagram;
         d.appPayload = u->datagram.payload;
+        d.l4Trailer = ip.payload.subspan(8 + u->datagram.payload.size());
         d.type = PacketType::kUdp;
       } else {
         d.type = PacketType::kMalformed;
@@ -131,6 +134,8 @@ void dissectIpv4Payload(Dissection& d, const Ipv4Decoded& ip) {
 
 void dissectIpv6Payload(Dissection& d, const Ipv6Decoded& ip) {
   d.ipv6 = ip.header;
+  d.l3Payload = ip.payload;
+  d.l3Trailer = ip.trailer;
   if (ip.header.nextHeader != static_cast<std::uint8_t>(IpProto::kIcmpv6)) {
     d.type = PacketType::kSixlowpanOther;
     d.appPayload = ip.payload;
@@ -262,6 +267,7 @@ void dissectWifi(Dissection& d, BytesView raw) {
     d.type = PacketType::kUnknown;
     return;
   }
+  d.llcHeader = d.wifi->body.subspan(0, 8);
   if (llc->ethertype == kEthertypeIpv4) {
     auto ip = decodeIpv4(llc->payload);
     if (!ip) {

@@ -125,6 +125,19 @@ struct Dissection {
   /// Innermost application payload (possibly empty). Aliases `raw`.
   BytesView appPayload;
 
+  // Codec support views (all alias `raw`). These preserve the byte spans the
+  // named layers above cannot reconstruct on their own, so that
+  // serialize(dissect(pkt)) == pkt.raw holds unconditionally — see codec.hpp.
+  /// The 8-byte LLC/SNAP header of a WiFi data frame, when one unwrapped.
+  BytesView llcHeader;
+  /// The IP payload (set whenever ipv4/ipv6 parsed — even if the transport
+  /// layer inside it did not, which is what makes kMalformed re-emittable).
+  BytesView l3Payload;
+  /// Link-layer slack past the IP totalLength/payloadLength.
+  BytesView l3Trailer;
+  /// Slack past the UDP length field inside l3Payload.
+  BytesView l4Trailer;
+
   /// The frame this dissection was parsed from (aliases the capture buffer).
   BytesView raw;
 

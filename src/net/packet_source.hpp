@@ -1,0 +1,45 @@
+// The unified ingestion seam: everything that feeds packets into an engine —
+// the simulator capture path, recorded KTRC traces, pcap files — implements
+// this one pull interface, and every consumer (KalisNode::consume,
+// Pipeline::enqueueFrom, trace_replay) drains it the same way. A recorded
+// capture therefore flows through the exact code path a live capture does.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace kalis::net {
+
+/// Pull interface over a stream of captured packets. next() returns packets
+/// in capture order and nullopt once the stream is exhausted (after which it
+/// keeps returning nullopt). Implementations are single-consumer.
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+  virtual std::optional<CapturedPacket> next() = 0;
+};
+
+/// Adapts an in-memory packet vector (e.g. a captured simulator trace) to
+/// the PacketSource seam. Owns its packets; each next() moves one out.
+class VectorPacketSource final : public PacketSource {
+ public:
+  explicit VectorPacketSource(std::vector<CapturedPacket> packets)
+      : packets_(std::move(packets)) {}
+
+  std::optional<CapturedPacket> next() override {
+    if (pos_ >= packets_.size()) return std::nullopt;
+    return std::move(packets_[pos_++]);
+  }
+
+  std::size_t remaining() const { return packets_.size() - pos_; }
+
+ private:
+  std::vector<CapturedPacket> packets_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace kalis::net

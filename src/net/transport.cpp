@@ -5,7 +5,7 @@
 namespace kalis::net {
 
 std::uint8_t TcpFlags::encode() const {
-  std::uint8_t bits = 0;
+  std::uint8_t bits = extra;
   if (fin) bits |= 0x01;
   if (syn) bits |= 0x02;
   if (rst) bits |= 0x04;
@@ -21,6 +21,7 @@ TcpFlags TcpFlags::decode(std::uint8_t bits) {
   f.rst = bits & 0x04;
   f.psh = bits & 0x08;
   f.ack = bits & 0x10;
+  f.extra = bits & 0xE0;
   return f;
 }
 
@@ -32,16 +33,22 @@ Bytes TcpSegmentT<Storage>::encode(Ipv4Addr src, Ipv4Addr dst) const {
   w.u16be(dstPort);
   w.u32be(seq);
   w.u32be(ackNo);
-  w.u8(0x50);  // data offset 5 words
+  const std::size_t offsetWords = 5 + options.size() / 4;
+  w.u8(static_cast<std::uint8_t>((offsetWords << 4) | offsetReserved));
   w.u8(flags.encode());
   w.u16be(window);
   const std::size_t checksumOffset = out.size();
   w.u16be(0);
-  w.u16be(0);  // urgent pointer
+  w.u16be(urgent);
+  w.raw(BytesView(options));
   w.raw(payload);
-  const Bytes pseudo = ipv4PseudoHeader(src, dst, IpProto::kTcp,
-                                        static_cast<std::uint16_t>(out.size()));
-  w.patchU16be(checksumOffset, internetChecksum2(pseudo, BytesView(out)));
+  if (wireChecksum) {
+    w.patchU16be(checksumOffset, *wireChecksum);
+  } else {
+    const Bytes pseudo = ipv4PseudoHeader(
+        src, dst, IpProto::kTcp, static_cast<std::uint16_t>(out.size()));
+    w.patchU16be(checksumOffset, internetChecksum2(pseudo, BytesView(out)));
+  }
   return out;
 }
 
@@ -58,10 +65,11 @@ std::optional<TcpDecoded> decodeTcp(BytesView raw, Ipv4Addr src, Ipv4Addr dst) {
   if (headerLen < 20 || headerLen > raw.size()) return std::nullopt;
   d.segment.flags = TcpFlags::decode(*r.u8());
   d.segment.window = *r.u16be();
-  r.u16be();  // checksum
-  r.u16be();  // urgent
-  r.skip(headerLen - 20);
-  d.segment.payload = r.rest();  // aliases `raw`
+  d.segment.wireChecksum = *r.u16be();
+  d.segment.urgent = *r.u16be();
+  d.segment.offsetReserved = offsetByte & 0x0f;
+  d.segment.options = *r.take(headerLen - 20);  // aliases `raw`
+  d.segment.payload = r.rest();                 // ditto
   const Bytes pseudo = ipv4PseudoHeader(src, dst, IpProto::kTcp,
                                         static_cast<std::uint16_t>(raw.size()));
   d.checksumValid = internetChecksum2(pseudo, raw) == 0;
@@ -81,11 +89,15 @@ Bytes UdpDatagramT<Storage>::encode(Ipv4Addr src, Ipv4Addr dst) const {
   const std::size_t checksumOffset = out.size();
   w.u16be(0);
   w.raw(payload);
-  const Bytes pseudo = ipv4PseudoHeader(src, dst, IpProto::kUdp,
-                                        static_cast<std::uint16_t>(out.size()));
-  std::uint16_t csum = internetChecksum2(pseudo, BytesView(out));
-  if (csum == 0) csum = 0xffff;  // RFC 768: transmitted 0 means "no checksum"
-  w.patchU16be(checksumOffset, csum);
+  if (wireChecksum) {
+    w.patchU16be(checksumOffset, *wireChecksum);
+  } else {
+    const Bytes pseudo = ipv4PseudoHeader(
+        src, dst, IpProto::kUdp, static_cast<std::uint16_t>(out.size()));
+    std::uint16_t csum = internetChecksum2(pseudo, BytesView(out));
+    if (csum == 0) csum = 0xffff;  // RFC 768: transmitted 0 = "no checksum"
+    w.patchU16be(checksumOffset, csum);
+  }
   return out;
 }
 
@@ -96,7 +108,7 @@ std::optional<UdpDecoded> decodeUdp(BytesView raw, Ipv4Addr src, Ipv4Addr dst) {
   d.datagram.srcPort = *r.u16be();
   d.datagram.dstPort = *r.u16be();
   auto len = *r.u16be();
-  r.u16be();  // checksum
+  d.datagram.wireChecksum = *r.u16be();
   if (len < 8 || len > raw.size()) return std::nullopt;
   d.datagram.payload = raw.subspan(8, len - 8);  // aliases `raw`
   const Bytes pseudo =
@@ -119,7 +131,8 @@ Bytes IcmpMessageT<Storage>::encode() const {
   w.u16be(identifier);
   w.u16be(sequence);
   w.raw(payload);
-  w.patchU16be(checksumOffset, internetChecksum(BytesView(out)));
+  w.patchU16be(checksumOffset,
+               wireChecksum ? *wireChecksum : internetChecksum(BytesView(out)));
   return out;
 }
 
@@ -132,7 +145,7 @@ std::optional<IcmpDecoded> decodeIcmp(BytesView raw) {
   IcmpDecoded d;
   d.message.type = static_cast<IcmpType>(*r.u8());
   d.message.code = *r.u8();
-  r.u16be();  // checksum
+  d.message.wireChecksum = *r.u16be();
   d.message.identifier = *r.u16be();
   d.message.sequence = *r.u16be();
   d.message.payload = r.rest();  // aliases `raw`

@@ -1,8 +1,10 @@
 // TCP, UDP and ICMP segments.
 //
-// TCP carries only the 20-byte base header (no options) — enough for the
-// SYN-flood detection path, which keys off flags and the 4-tuple. Checksums
-// are computed over the appropriate pseudo-header.
+// Builders emit the 20-byte base TCP header (no options) — enough for the
+// SYN-flood detection path, which keys off flags and the 4-tuple. The parser
+// additionally preserves options, the urgent pointer and the on-wire checksum
+// so the codec can re-emit segments verbatim. Checksums are computed over the
+// appropriate pseudo-header.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +24,7 @@ struct TcpFlags {
   bool rst = false;
   bool psh = false;
   bool ack = false;
+  std::uint8_t extra = 0;  ///< URG/ECE/CWR bits (0xE0), kept verbatim
 
   std::uint8_t encode() const;
   static TcpFlags decode(std::uint8_t bits);
@@ -41,8 +44,18 @@ struct TcpSegmentT {
   TcpFlags flags;
   std::uint16_t window = 65535;
   Storage payload{};
+  // Wire-preservation fields (packetlib discipline). Builders leave the
+  // defaults, which reproduce the historical options-free header; parsers
+  // fill them in so encode(decode(x)) == x.
+  Storage options{};                 ///< data offset beyond 20 bytes, verbatim
+  std::uint8_t offsetReserved = 0;   ///< low nibble of the data-offset byte
+  std::uint16_t urgent = 0;          ///< urgent pointer, verbatim
+  /// Checksum as seen on the wire; parsers always set it (valid or not),
+  /// builders leave it unset and get a pseudo-header computed one.
+  std::optional<std::uint16_t> wireChecksum{};
 
-  /// Serializes with a checksum over the IPv4 pseudo-header.
+  /// Serializes with a checksum over the IPv4 pseudo-header (or the verbatim
+  /// wire checksum when set).
   Bytes encode(Ipv4Addr src, Ipv4Addr dst) const;
 };
 
@@ -63,6 +76,9 @@ struct UdpDatagramT {
   std::uint16_t srcPort = 0;
   std::uint16_t dstPort = 0;
   Storage payload{};
+  /// Checksum as seen on the wire; parsers always set it, builders leave it
+  /// unset and get a computed one (with the RFC 768 zero-avoidance rule).
+  std::optional<std::uint16_t> wireChecksum{};
 
   Bytes encode(Ipv4Addr src, Ipv4Addr dst) const;
 };
@@ -93,6 +109,9 @@ struct IcmpMessageT {
   std::uint16_t identifier = 0;
   std::uint16_t sequence = 0;
   Storage payload{};
+  /// Checksum as seen on the wire; parsers always set it, builders leave it
+  /// unset and get a computed one.
+  std::optional<std::uint16_t> wireChecksum{};
 
   Bytes encode() const;
 };
@@ -111,15 +130,17 @@ std::optional<IcmpDecoded> decodeIcmp(BytesView raw);
 // for code that retains a segment past the dissection's lifetime (e.g. the
 // InternetCloud handlers, which run after the WAN latency).
 inline TcpSegment toOwned(const TcpSegmentView& v) {
-  return TcpSegment{v.srcPort, v.dstPort, v.seq,
-                    v.ackNo,   v.flags,   v.window, toBytes(v.payload)};
+  return TcpSegment{v.srcPort,        v.dstPort, v.seq,
+                    v.ackNo,          v.flags,   v.window,
+                    toBytes(v.payload), toBytes(v.options),
+                    v.offsetReserved, v.urgent,  v.wireChecksum};
 }
 inline UdpDatagram toOwned(const UdpDatagramView& v) {
-  return UdpDatagram{v.srcPort, v.dstPort, toBytes(v.payload)};
+  return UdpDatagram{v.srcPort, v.dstPort, toBytes(v.payload), v.wireChecksum};
 }
 inline IcmpMessage toOwned(const IcmpMessageView& v) {
   return IcmpMessage{v.type, v.code, v.identifier, v.sequence,
-                     toBytes(v.payload)};
+                     toBytes(v.payload), v.wireChecksum};
 }
 
 }  // namespace kalis::net

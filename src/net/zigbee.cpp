@@ -16,6 +16,7 @@ Bytes ZigbeeNwkFrameT<Storage>::encode() const {
   w.u8(kDispatchZigbeeNwk);
   std::uint16_t fc = static_cast<std::uint16_t>(type) & kTypeMask;
   if (securityEnabled) fc |= kSecurityBit;
+  fc |= fcExtra;
   w.u16le(fc);
   w.u16le(dst.value);
   w.u16le(src.value);
@@ -41,6 +42,7 @@ std::optional<ZigbeeNwkFrameView> decodeZigbeeNwk(BytesView raw) {
   ZigbeeNwkFrameView f;
   f.type = static_cast<ZigbeeFrameType>(*fc & kTypeMask);
   f.securityEnabled = (*fc & kSecurityBit) != 0;
+  f.fcExtra = *fc & static_cast<std::uint16_t>(~(kTypeMask | kSecurityBit));
   f.dst = Mac16{*dst};
   f.src = Mac16{*src};
   f.radius = *radius;

@@ -37,6 +37,9 @@ struct ZigbeeNwkFrameT {
   std::uint8_t radius = 1;  ///< remaining hop budget; >1 implies routing
   std::uint8_t seq = 0;
   Storage payload{};
+  /// frameControl bits outside type/security, kept verbatim so that
+  /// encode(decode(x)) == x (packetlib discipline). Builders leave 0.
+  std::uint16_t fcExtra = 0;
 
   /// Serializes including the 0x48 dispatch byte.
   Bytes encode() const;
@@ -58,8 +61,9 @@ std::optional<ZigbeeNwkFrameView> decodeZigbeeNwk(BytesView raw);
 /// Materializes a zero-copy view into an owning frame — the explicit copy
 /// point for relays that mutate or retain a dissected frame.
 inline ZigbeeNwkFrame toOwned(const ZigbeeNwkFrameView& v) {
-  return ZigbeeNwkFrame{v.type, v.securityEnabled, v.dst,
-                        v.src,  v.radius,          v.seq, toBytes(v.payload)};
+  return ZigbeeNwkFrame{v.type, v.securityEnabled,  v.dst,
+                        v.src,  v.radius,           v.seq,
+                        toBytes(v.payload), v.fcExtra};
 }
 
 // Application-profile payload tags used by the simulated hub/sub traffic

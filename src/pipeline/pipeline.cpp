@@ -100,6 +100,25 @@ std::size_t Pipeline::enqueueBatch(const net::CapturedPacket* pkts,
   return accepted;
 }
 
+std::size_t Pipeline::enqueueFrom(net::PacketSource& source) {
+  constexpr std::size_t kChunk = 1024;
+  std::vector<net::CapturedPacket> staging;
+  staging.reserve(kChunk);
+  std::size_t accepted = 0;
+  for (;;) {
+    staging.clear();
+    while (staging.size() < kChunk) {
+      auto pkt = source.next();
+      if (!pkt) break;
+      staging.push_back(std::move(*pkt));
+    }
+    if (staging.empty()) break;
+    accepted += enqueueBatch(staging.data(), staging.size());
+    if (staging.size() < kChunk) break;  // source exhausted mid-chunk
+  }
+  return accepted;
+}
+
 void Pipeline::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;

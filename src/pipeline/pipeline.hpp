@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/packet_source.hpp"
 #include "pipeline/engine.hpp"
 #include "pipeline/knowledge_exchange.hpp"
 #include "pipeline/ring_buffer.hpp"
@@ -130,6 +131,13 @@ class Pipeline {
   /// threading contract as enqueue(); deterministic mode processes the
   /// batch inline, one packet at a time, bit-identically.
   std::size_t enqueueBatch(const net::CapturedPacket* pkts, std::size_t count);
+
+  /// Unified ingestion seam: drains a PacketSource (simulator capture, KTRC
+  /// trace, pcap file) to exhaustion through enqueueBatch() in 1024-packet
+  /// chunks. Returns the number of packets accepted. Same threading contract
+  /// as enqueue(). enqueue()/enqueueBatch() remain the per-packet/per-burst
+  /// primitives underneath this seam.
+  std::size_t enqueueFrom(net::PacketSource& source);
 
   /// Drains every queued packet, joins the workers, runs engine finish()
   /// and flushes the merge stage. Idempotent.

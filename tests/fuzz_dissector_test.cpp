@@ -6,6 +6,11 @@
 // (the CI chaos job runs this under ASan/UBSan), and mangled input comes
 // back as kMalformed/kUnknown, not as UB.
 //
+// The same campaigns also exercise the codec (net/codec.hpp): for EVERY
+// input — valid, mutated or pure garbage — serialize(dissect(x)) must
+// return x byte-for-byte, and re-dissecting the serialized bytes must not
+// diverge from the first parse.
+//
 // Each family runs kItersPerFamily iterations (override with the
 // KALIS_FUZZ_ITERS env var); seven families × 15k = 105k total, satisfying
 // the ≥100k acceptance bar. Everything is seeded: a failure reproduces by
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "net/ble.hpp"
+#include "net/codec.hpp"
 #include "net/ctp.hpp"
 #include "net/ieee80211.hpp"
 #include "net/ieee802154.hpp"
@@ -65,6 +71,16 @@ PacketType exercise(const CapturedPacket& pkt) {
   if (d.icmp) sink += d.icmp->payload.size();
   if (d.icmpv6) sink += d.icmpv6->body.size();
   EXPECT_GE(sink, 0u);  // keep `sink` observable
+  // Codec roundtrip (packetlib discipline): whatever the parse verdict,
+  // serialization must reproduce the input exactly, and a second parse of
+  // the serialized bytes must not diverge from the first.
+  const Bytes wire = serialize(d);
+  EXPECT_EQ(wire, pkt.raw) << "serialize(dissect(x)) != x";
+  CapturedPacket again = pkt;
+  again.raw = wire;
+  const Dissection d2 = dissect(again);
+  EXPECT_EQ(toReadableByteString(d2), toReadableByteString(d))
+      << "reparse diverged";
   return d.type;
 }
 
