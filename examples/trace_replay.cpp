@@ -63,6 +63,8 @@
 #include "pipeline/pipeline.hpp"
 #include "scenarios/chaos_workload.hpp"
 #include "scenarios/environments.hpp"
+#include "scenarios/evasion_sweep.hpp"
+#include "util/strings.hpp"
 #include "trace/pcap.hpp"
 #include "trace/trace_file.hpp"
 
@@ -97,6 +99,15 @@ fresh Kalis instance "as if operating on live traffic".
                      --pipeline and --workers
   --dump-pcap FILE   after recording, dump the replayed trace as a
                      mixed-medium pcap for later --pcap replay
+  --evasion SPEC     adversarial-evasion sweep (DESIGN.md §13): replay the
+                     Fig. 8 scenarios across a budget grid under the evasion
+                     plan SPEC ("full", "timing", "dilute", "split", "mimic",
+                     "none" or "key=value,..."), print the detection-rate
+                     table, write EVASION_curves.json, and diff the evaded
+                     alert stream through the DiffRunner evasion lane;
+                     --seed selects the scenario seed (default 100 here)
+  --scenario NAME    restrict the evasion sweep to one Fig. 8 scenario
+  --budgets CSV      evasion budget grid (default 0,0.25,0.5,0.75,1)
   --help             show this text
 )";
 
@@ -111,6 +122,10 @@ struct ReplayOptions {
   std::uint64_t kbSyncMs = 10;
   std::optional<chaos::FaultPlan> chaosPlan;
   bool chaosDiff = false;
+  std::optional<attacks::evasion::EvasionPlan> evasionPlan;
+  std::string evasionScenario;            ///< --scenario: empty = all eight
+  std::vector<double> evasionBudgets;     ///< --budgets: empty = default grid
+  bool seedGiven = false;
   std::string pcapIn;   ///< --pcap FILE: replay this capture
   std::string pcapOut;  ///< --dump-pcap FILE: write the replayed trace
   bool help = false;
@@ -157,6 +172,32 @@ std::optional<ReplayOptions> parseReplayOptions(int argc, char** argv) {
       const char* v = value();
       if (!v) return missing();
       opt.seed = std::strtoull(v, nullptr, 10);
+      opt.seedGiven = true;
+    } else if (arg == "--evasion") {
+      const char* v = value();
+      if (!v) return missing();
+      std::string error;
+      opt.evasionPlan = attacks::evasion::EvasionPlan::parse(v, &error);
+      if (!opt.evasionPlan) {
+        std::fprintf(stderr, "bad evasion plan: %s\n", error.c_str());
+        return std::nullopt;
+      }
+    } else if (arg == "--scenario") {
+      const char* v = value();
+      if (!v) return missing();
+      opt.evasionScenario = v;
+    } else if (arg == "--budgets") {
+      const char* v = value();
+      if (!v) return missing();
+      for (const std::string& part : split(v, ',')) {
+        const std::optional<double> budget = parseDouble(trim(part));
+        if (!budget || *budget < 0.0 || *budget > 1.0) {
+          std::fprintf(stderr, "trace_replay: bad budget '%s' in --budgets\n",
+                       part.c_str());
+          return std::nullopt;
+        }
+        opt.evasionBudgets.push_back(*budget);
+      }
     } else if (arg == "--pcap") {
       const char* v = value();
       if (!v) return missing();
@@ -181,6 +222,7 @@ std::optional<ReplayOptions> parseReplayOptions(int argc, char** argv) {
       return std::nullopt;
     } else {
       opt.seed = std::strtoull(argv[i], nullptr, 10);
+      opt.seedGiven = true;
     }
   }
   return opt;
@@ -245,11 +287,12 @@ int runChaosDiff(std::uint64_t seed, const chaos::FaultPlan& plan,
   const auto printDiff = [](const char* name, const chaos::DiffResult& d) {
     std::printf(
         "%s: %zu vs %zu alerts — %s (%zu accounted-loss, %zu "
-        "reordering-tolerant, %zu regressions)\n",
+        "reordering-tolerant, %zu evasion, %zu regressions)\n",
         name, d.baselineAlerts, d.subjectAlerts,
         d.identical ? "identical" : "diverged",
         d.count(chaos::DivergenceKind::kAccountedLoss),
         d.count(chaos::DivergenceKind::kReorderingTolerant),
+        d.count(chaos::DivergenceKind::kEvasion),
         d.count(chaos::DivergenceKind::kRegression));
   };
   printDiff("faulted vs baseline      ", report.faultedVsBaseline);
@@ -261,6 +304,85 @@ int runChaosDiff(std::uint64_t seed, const chaos::FaultPlan& plan,
   std::printf("Divergence report written to %s\n", out ? path : "<failed>");
   if (report.hasRegression()) {
     std::printf("REGRESSION: divergences not explained by injected faults\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// --evasion: detection-rate-vs-budget sweep over the Fig. 8 scenarios for
+/// all three systems, plus the DiffRunner evasion lane on the Kalis stream
+/// at the maximum budget. Writes EVASION_curves.json; exits nonzero when a
+/// zero-budget run is not byte-identical to the unperturbed scenario, when
+/// any perturbed frame violates serialize(dissect(x)) == x, or when the
+/// evasion diff surfaces an unexplained regression.
+int runEvasionSweep(const ReplayOptions& opt) {
+  namespace ev = attacks::evasion;
+  ev::SweepOptions sweep;
+  sweep.plan = *opt.evasionPlan;
+  // The default replay seed (21) is the trace seed; the sweep aligns with
+  // the bench_fig8 scenario seeds instead unless one was given explicitly.
+  sweep.scenarioSeed = opt.seedGiven ? opt.seed : 100;
+  if (!opt.evasionScenario.empty()) {
+    bool known = false;
+    for (const std::string& name : scenarios::scenarioNames()) {
+      known = known || name == opt.evasionScenario;
+    }
+    if (!known) {
+      std::fprintf(stderr, "trace_replay: unknown scenario '%s'\n",
+                   opt.evasionScenario.c_str());
+      return 2;
+    }
+    sweep.scenarios = {opt.evasionScenario};
+  }
+  if (!opt.evasionBudgets.empty()) sweep.budgets = opt.evasionBudgets;
+
+  std::printf("Evasion sweep: plan [%s], scenario seed %llu, %zu budgets\n",
+              sweep.plan.describe().c_str(),
+              static_cast<unsigned long long>(sweep.scenarioSeed),
+              sweep.budgets.size());
+  const ev::SweepResult result = ev::runSweep(sweep);
+  std::printf("\n%s\n", result.toTable().c_str());
+
+  const char* path = "EVASION_curves.json";
+  std::ofstream out(path, std::ios::trunc);
+  out << result.toJson() << "\n";
+  std::printf("Evasion curves written to %s\n", out ? path : "<failed>");
+
+  // DiffRunner evasion lane on the Kalis alert stream at the max budget.
+  ev::EvasionPlan maxPlan = sweep.plan;
+  for (double b : sweep.budgets) maxPlan.budget = std::max(maxPlan.budget, b);
+  bool diffRegression = false;
+  const std::vector<std::string>& diffScenarios =
+      sweep.scenarios.empty() ? scenarios::scenarioNames() : sweep.scenarios;
+  std::printf("\nDiffRunner evasion lane (kalis, budget %s):\n",
+              formatDouble(maxPlan.budget).c_str());
+  for (const std::string& scenario : diffScenarios) {
+    const chaos::DiffResult d = ev::evasionDiff(
+        scenario, scenarios::SystemKind::kKalis, sweep.scenarioSeed, maxPlan);
+    std::printf(
+        "  %-22s %zu vs %zu alerts — %s (%zu evasion, %zu reordering-"
+        "tolerant, %zu regressions)\n",
+        scenario.c_str(), d.baselineAlerts, d.subjectAlerts,
+        d.identical ? "identical" : "diverged",
+        d.count(chaos::DivergenceKind::kEvasion),
+        d.count(chaos::DivergenceKind::kReorderingTolerant),
+        d.count(chaos::DivergenceKind::kRegression));
+    diffRegression = diffRegression || d.hasRegression();
+  }
+  if (diffRegression) {
+    std::printf("note: evasion-lane regressions above mean the perturbation "
+                "changed alert semantics (reported, not gated)\n");
+  }
+
+  if (!result.allZeroBudgetIdentical) {
+    std::printf("FAIL: a zero-budget run diverged from the unperturbed "
+                "scenario\n");
+    return 1;
+  }
+  if (result.roundtripViolations > 0) {
+    std::printf("FAIL: %llu perturbed frames violated "
+                "serialize(dissect(x)) == x\n",
+                static_cast<unsigned long long>(result.roundtripViolations));
     return 1;
   }
   return 0;
@@ -432,6 +554,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (opt.evasionPlan) return runEvasionSweep(opt);
   if (opt.fleetHomes > 0) {
     return runFleetReplay(opt.fleetHomes, opt.fleetRegions, opt.workers,
                           opt.seed);

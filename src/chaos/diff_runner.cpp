@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "kalis/siem_export.hpp"
@@ -51,6 +52,7 @@ void appendDiffJson(std::ostringstream& oss, const char* name,
       << diff.count(DivergenceKind::kAccountedLoss)
       << ",\"reordering_tolerant\":"
       << diff.count(DivergenceKind::kReorderingTolerant)
+      << ",\"evasion\":" << diff.count(DivergenceKind::kEvasion)
       << ",\"regression\":" << diff.count(DivergenceKind::kRegression)
       << "},\"divergences\":[";
   for (std::size_t i = 0; i < diff.divergences.size(); ++i) {
@@ -72,6 +74,7 @@ const char* toString(DivergenceKind kind) {
   switch (kind) {
     case DivergenceKind::kAccountedLoss: return "accounted_loss";
     case DivergenceKind::kReorderingTolerant: return "reordering_tolerant";
+    case DivergenceKind::kEvasion: return "evasion";
     case DivergenceKind::kRegression: return "regression";
   }
   return "?";
@@ -127,6 +130,13 @@ DiffResult diffAlertStreams(const RunOutput& baseline,
     unpairedBaseline[structuralKey(baseline.alerts[idx])].push_back(idx);
   }
   const bool lossy = subjectLossyRelativeTo(baseline, subject);
+  // The evasion lane: only a subject strictly more perturbed than its
+  // baseline may charge divergences to an evasion plan.
+  const bool evasive = subject.evasionPerturbed > baseline.evasionPerturbed;
+  std::set<std::string> baselineAttackTypes;
+  for (const ids::Alert& alert : baseline.alerts) {
+    baselineAttackTypes.insert(ids::attackName(alert.type));
+  }
   const char* lossDetail =
       "attributed to injected faults (loss/corruption/duplication/"
       "reordering/crash or ring eviction tallies differ)";
@@ -139,9 +149,21 @@ DiffResult diffAlertStreams(const RunOutput& baseline,
       d.detail = "same alert identity on both sides; time/detail shifted";
       d.baselineJson = baseline.siemLines[it->second.front()];
       it->second.erase(it->second.begin());
+    } else if (evasive &&
+               baselineAttackTypes.count(
+                   ids::attackName(subject.alerts[idx].type)) > 0) {
+      d.kind = DivergenceKind::kEvasion;
+      d.detail =
+          "entity attribution shifted under evasion perturbation "
+          "(attack type present in baseline)";
     } else if (lossy) {
       d.kind = DivergenceKind::kAccountedLoss;
       d.detail = std::string("subject-only alert ") + lossDetail;
+    } else if (evasive) {
+      d.kind = DivergenceKind::kRegression;
+      d.detail =
+          "evasion changed alert semantics: attack type never raised on "
+          "the unperturbed run";
     } else {
       d.kind = DivergenceKind::kRegression;
       d.detail = "subject-only alert with no injected fault to explain it";
@@ -153,7 +175,11 @@ DiffResult diffAlertStreams(const RunOutput& baseline,
     for (std::size_t idx : indices) {
       Divergence d;
       d.baselineJson = baseline.siemLines[idx];
-      if (lossy) {
+      if (evasive) {
+        d.kind = DivergenceKind::kEvasion;
+        d.detail = "alert suppressed by evasion perturbation of the attack "
+                   "traffic";
+      } else if (lossy) {
         d.kind = DivergenceKind::kAccountedLoss;
         d.detail = std::string("baseline-only alert ") + lossDetail;
       } else {

@@ -11,6 +11,14 @@
 //   reordering-tolerant  the same alert (attack, module, victim, suspects)
 //                        exists on both sides with a shifted timestamp,
 //                        detail, or confidence — tolerated under reordering;
+//   evasion              the subject run perturbed attack traffic through an
+//                        attacks::evasion plan and the divergence is the
+//                        perturbation working as designed: an alert was
+//                        suppressed, or its entity attribution shifted while
+//                        the attack type stayed the same. A subject-only
+//                        alert whose attack type never appears in the
+//                        baseline is NOT tolerated — evasion that silently
+//                        *changes alert semantics* is a regression;
 //   regression           a divergence nothing injected can explain — the
 //                        detector behaved differently on equivalent input.
 //
@@ -42,11 +50,16 @@ struct RunOutput {
   std::uint64_t linkDuplicated = 0;
   std::uint64_t linkDelayed = 0;
   std::uint64_t crashes = 0;
+  /// attacks::evasion perturbation tally (Stats::perturbed()) of the run; a
+  /// subject strictly more perturbed than its baseline unlocks the evasion
+  /// divergence lane.
+  std::uint64_t evasionPerturbed = 0;
 };
 
 enum class DivergenceKind : std::uint8_t {
   kAccountedLoss,
   kReorderingTolerant,
+  kEvasion,
   kRegression,
 };
 

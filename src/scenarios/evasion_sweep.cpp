@@ -1,0 +1,207 @@
+#include "scenarios/evasion_sweep.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "kalis/siem_export.hpp"
+#include "util/strings.hpp"
+
+namespace kalis::attacks::evasion {
+
+namespace {
+
+std::vector<std::string> siemLines(const scenarios::ScenarioResult& result) {
+  std::vector<std::string> lines;
+  lines.reserve(result.alerts.size());
+  for (const ids::Alert& alert : result.alerts) {
+    lines.push_back(ids::toSiemJson(alert));
+  }
+  return lines;
+}
+
+/// Runs one scenario under `plan` (nullptr = unperturbed) and captures the
+/// per-run perturbation tally delta.
+scenarios::ScenarioResult runOnce(const std::string& scenario,
+                                  scenarios::SystemKind system,
+                                  std::uint64_t seed, const EvasionPlan* plan,
+                                  Stats* tally) {
+  resetGlobalTally();
+  std::optional<scenarios::ScenarioResult> result =
+      scenarios::runScenarioByName(scenario, system, seed, nullptr, plan);
+  if (tally != nullptr) *tally = globalTally();
+  return *result;
+}
+
+void appendStatsJson(std::ostringstream& oss, const Stats& stats) {
+  oss << "{\"attacker_frames\":" << stats.attackerFrames
+      << ",\"diluted\":" << stats.diluted << ",\"delayed\":" << stats.delayed
+      << ",\"rewritten\":" << stats.rewritten
+      << ",\"padded\":" << stats.padded
+      << ",\"forward_relieved\":" << stats.forwardRelieved
+      << ",\"roundtrip_violations\":" << stats.roundtripViolations << "}";
+}
+
+}  // namespace
+
+const char* systemToken(scenarios::SystemKind system) {
+  switch (system) {
+    case scenarios::SystemKind::kKalis: return "kalis";
+    case scenarios::SystemKind::kTraditionalIds: return "traditional";
+    case scenarios::SystemKind::kSnort: return "snort";
+  }
+  return "?";
+}
+
+std::optional<scenarios::SystemKind> systemFromToken(std::string_view token) {
+  if (token == "kalis") return scenarios::SystemKind::kKalis;
+  if (token == "traditional") return scenarios::SystemKind::kTraditionalIds;
+  if (token == "snort") return scenarios::SystemKind::kSnort;
+  return std::nullopt;
+}
+
+SweepResult runSweep(const SweepOptions& options) {
+  SweepResult result;
+  result.options = options;
+  const std::vector<std::string>& scenarioList =
+      options.scenarios.empty() ? scenarios::scenarioNames()
+                                : options.scenarios;
+  std::vector<scenarios::SystemKind> systems = options.systems;
+  if (systems.empty()) {
+    systems = {scenarios::SystemKind::kKalis,
+               scenarios::SystemKind::kTraditionalIds,
+               scenarios::SystemKind::kSnort};
+  }
+
+  for (scenarios::SystemKind system : systems) {
+    for (const std::string& scenario : scenarioList) {
+      SweepCurve curve;
+      curve.scenario = scenario;
+      curve.system = system;
+      for (double budget : options.budgets) {
+        EvasionPlan plan = options.plan;
+        plan.budget = budget;
+        SweepPoint point;
+        point.budget = budget;
+        point.spec = plan.describe();
+        scenarios::ScenarioResult run = runOnce(
+            scenario, system, options.scenarioSeed, &plan,
+            &point.perturbation);
+        point.detectionRate = run.detectionRate();
+        point.accuracy = run.accuracy();
+        point.alerts = run.alerts.size();
+        point.truthSize = run.truthSize;
+        point.notApplicable = run.notApplicable;
+        result.roundtripViolations += point.perturbation.roundtripViolations;
+        if (budget == 0.0 && options.checkZeroBudgetIdentity) {
+          scenarios::ScenarioResult bare = runOnce(
+              scenario, system, options.scenarioSeed, nullptr, nullptr);
+          point.zeroBudgetIdentical = siemLines(run) == siemLines(bare);
+          if (!point.zeroBudgetIdentical) {
+            result.allZeroBudgetIdentical = false;
+          }
+        }
+        curve.points.push_back(std::move(point));
+      }
+      result.curves.push_back(std::move(curve));
+    }
+  }
+  return result;
+}
+
+std::string SweepResult::toJson() const {
+  std::ostringstream oss;
+  EvasionPlan preset = options.plan;
+  preset.budget = 0.0;  // the per-point specs carry the actual budget
+  oss << "{\"v\":1,\"kind\":\"evasion_curves\",\"scenario_seed\":"
+      << options.scenarioSeed << ",\"plan\":\""
+      << ids::jsonEscape(preset.describe()) << "\",\"budgets\":[";
+  for (std::size_t i = 0; i < options.budgets.size(); ++i) {
+    if (i) oss << ",";
+    oss << formatDouble(options.budgets[i]);
+  }
+  oss << "],\"roundtrip_violations\":" << roundtripViolations
+      << ",\"all_zero_budget_identical\":"
+      << (allZeroBudgetIdentical ? "true" : "false") << ",\"curves\":[";
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    const SweepCurve& curve = curves[c];
+    if (c) oss << ",";
+    oss << "{\"scenario\":\"" << ids::jsonEscape(curve.scenario)
+        << "\",\"system\":\"" << systemToken(curve.system)
+        << "\",\"points\":[";
+    for (std::size_t p = 0; p < curve.points.size(); ++p) {
+      const SweepPoint& point = curve.points[p];
+      if (p) oss << ",";
+      oss << "{\"budget\":" << formatDouble(point.budget) << ",\"spec\":\""
+          << ids::jsonEscape(point.spec)
+          << "\",\"detection_rate\":" << formatDouble(point.detectionRate)
+          << ",\"accuracy\":" << formatDouble(point.accuracy)
+          << ",\"alerts\":" << point.alerts << ",\"truth\":" << point.truthSize
+          << ",\"not_applicable\":" << (point.notApplicable ? "true" : "false")
+          << ",\"zero_budget_identical\":"
+          << (point.zeroBudgetIdentical ? "true" : "false")
+          << ",\"perturbation\":";
+      appendStatsJson(oss, point.perturbation);
+      oss << "}";
+    }
+    oss << "]}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+std::string SweepResult::toTable() const {
+  std::ostringstream oss;
+  char buf[64];
+  EvasionPlan preset = options.plan;
+  preset.budget = 0.0;
+  oss << "Detection rate vs evasion budget (scenario seed "
+      << options.scenarioSeed << ", plan " << preset.describe() << ")\n";
+  std::snprintf(buf, sizeof(buf), "%-22s %-12s", "scenario", "system");
+  oss << buf;
+  for (double budget : options.budgets) {
+    std::snprintf(buf, sizeof(buf), "  b=%4.2f", budget);
+    oss << buf;
+  }
+  oss << "\n";
+  for (const SweepCurve& curve : curves) {
+    std::snprintf(buf, sizeof(buf), "%-22s %-12s", curve.scenario.c_str(),
+                  systemToken(curve.system));
+    oss << buf;
+    for (const SweepPoint& point : curve.points) {
+      if (point.notApplicable) {
+        std::snprintf(buf, sizeof(buf), "  %6s", "n/a");
+      } else {
+        std::snprintf(buf, sizeof(buf), "  %6.2f", point.detectionRate);
+      }
+      oss << buf;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+chaos::DiffResult evasionDiff(const std::string& scenario,
+                              scenarios::SystemKind system,
+                              std::uint64_t seed, const EvasionPlan& plan) {
+  Stats baseTally;
+  scenarios::ScenarioResult bare =
+      runOnce(scenario, system, seed, nullptr, &baseTally);
+  chaos::RunOutput baseline;
+  baseline.label = scenario + " unperturbed";
+  baseline.alerts = bare.alerts;
+  baseline.siemLines = siemLines(bare);
+  baseline.evasionPerturbed = baseTally.perturbed();
+
+  Stats evadedTally;
+  scenarios::ScenarioResult evaded =
+      runOnce(scenario, system, seed, &plan, &evadedTally);
+  chaos::RunOutput subject;
+  subject.label = scenario + " evasion[" + plan.describe() + "]";
+  subject.alerts = evaded.alerts;
+  subject.siemLines = siemLines(evaded);
+  subject.evasionPerturbed = evadedTally.perturbed();
+
+  return chaos::diffAlertStreams(baseline, subject);
+}
+
+}  // namespace kalis::attacks::evasion

@@ -18,32 +18,57 @@ namespace kalis::chaos {
 struct FaultPlan;
 }
 
+namespace kalis::attacks::evasion {
+struct EvasionPlan;
+}
+
 namespace kalis::scenarios {
 
 // Every Fig. 8 runner optionally takes a chaos::FaultPlan (DESIGN.md §9):
 // when non-null, a chaos::LinkChaos injector is installed on the World for
 // the whole run, so any scenario can be replayed under any fault plan. A
 // null plan (the default) leaves the run byte-for-byte unchanged.
-ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed,
-                            const chaos::FaultPlan* faults = nullptr);
+//
+// Each runner also optionally takes an attacks::evasion::EvasionPlan
+// (DESIGN.md §13): when non-null, an EvasionChaos injector wraps the fault
+// seam and applies budgeted adversarial perturbations to the attacker's
+// traffic only (the forwarding-family scenarios instead scale the malicious
+// relay's drop probability). A null or zero-budget plan leaves the run
+// byte-for-byte unchanged.
+ScenarioResult runIcmpFlood(
+    SystemKind system, std::uint64_t seed,
+    const chaos::FaultPlan* faults = nullptr,
+    const attacks::evasion::EvasionPlan* evasion = nullptr);
 ScenarioResult runSmurf(SystemKind system, std::uint64_t seed,
-                        const chaos::FaultPlan* faults = nullptr);
-ScenarioResult runSynFlood(SystemKind system, std::uint64_t seed,
-                           const chaos::FaultPlan* faults = nullptr);
-ScenarioResult runSelectiveForwarding(SystemKind system, std::uint64_t seed,
-                                      const chaos::FaultPlan* faults = nullptr);
-ScenarioResult runBlackhole(SystemKind system, std::uint64_t seed,
-                            const chaos::FaultPlan* faults = nullptr);
+                        const chaos::FaultPlan* faults = nullptr,
+                        const attacks::evasion::EvasionPlan* evasion = nullptr);
+ScenarioResult runSynFlood(
+    SystemKind system, std::uint64_t seed,
+    const chaos::FaultPlan* faults = nullptr,
+    const attacks::evasion::EvasionPlan* evasion = nullptr);
+ScenarioResult runSelectiveForwarding(
+    SystemKind system, std::uint64_t seed,
+    const chaos::FaultPlan* faults = nullptr,
+    const attacks::evasion::EvasionPlan* evasion = nullptr);
+ScenarioResult runBlackhole(
+    SystemKind system, std::uint64_t seed,
+    const chaos::FaultPlan* faults = nullptr,
+    const attacks::evasion::EvasionPlan* evasion = nullptr);
 ScenarioResult runSybil(SystemKind system, std::uint64_t seed,
-                        const chaos::FaultPlan* faults = nullptr);
-ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed,
-                           const chaos::FaultPlan* faults = nullptr);
+                        const chaos::FaultPlan* faults = nullptr,
+                        const attacks::evasion::EvasionPlan* evasion = nullptr);
+ScenarioResult runSinkhole(
+    SystemKind system, std::uint64_t seed,
+    const chaos::FaultPlan* faults = nullptr,
+    const attacks::evasion::EvasionPlan* evasion = nullptr);
 
 /// §VI-B2. One run = one random static/mobile schedule with 3 replicas; the
 /// traditional baseline is configured with one randomly chosen replication
 /// module ("closely simulating a static module library configuration").
-ScenarioResult runReplication(SystemKind system, std::uint64_t seed,
-                              const chaos::FaultPlan* faults = nullptr);
+ScenarioResult runReplication(
+    SystemKind system, std::uint64_t seed,
+    const chaos::FaultPlan* faults = nullptr,
+    const attacks::evasion::EvasionPlan* evasion = nullptr);
 
 /// §VI-D. Runs only Kalis (two nodes); `collaborative` toggles collective
 /// knowledge (the paper's mechanism) on and off (the ablation).
@@ -84,13 +109,20 @@ struct LiveCountermeasureResult {
 LiveCountermeasureResult runLiveCountermeasure(std::uint64_t seed);
 
 /// All eight Fig. 8 scenarios for one system (all under the same optional
-/// fault plan).
-std::vector<ScenarioResult> runAllScenarios(SystemKind system,
-                                            std::uint64_t seed,
-                                            const chaos::FaultPlan* faults =
-                                                nullptr);
+/// fault and evasion plans).
+std::vector<ScenarioResult> runAllScenarios(
+    SystemKind system, std::uint64_t seed,
+    const chaos::FaultPlan* faults = nullptr,
+    const attacks::evasion::EvasionPlan* evasion = nullptr);
 
 /// Names of the eight Fig. 8 scenarios, in runAllScenarios order.
 const std::vector<std::string>& scenarioNames();
+
+/// Runs one Fig. 8 scenario by its scenarioNames() entry; nullopt for an
+/// unknown name. The dispatch the evasion sweep and trace_replay use.
+std::optional<ScenarioResult> runScenarioByName(
+    const std::string& name, SystemKind system, std::uint64_t seed,
+    const chaos::FaultPlan* faults = nullptr,
+    const attacks::evasion::EvasionPlan* evasion = nullptr);
 
 }  // namespace kalis::scenarios

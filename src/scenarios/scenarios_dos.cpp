@@ -2,6 +2,7 @@
 #include <memory>
 
 #include "attacks/dos_attacks.hpp"
+#include "attacks/evasion.hpp"
 #include "attacks/sixlowpan_attacks.hpp"
 #include "scenarios/environments.hpp"
 #include "chaos/link_chaos.hpp"
@@ -22,7 +23,8 @@ void markApplicability(ScenarioResult& result, IdsHarness& harness) {
 }  // namespace
 
 ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed,
-                            const chaos::FaultPlan* faults) {
+                            const chaos::FaultPlan* faults,
+                            const attacks::evasion::EvasionPlan* evasion) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   sim::InternetCloud cloud;
@@ -47,6 +49,7 @@ ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed,
   harness.attach(world, home.ids,
                  {net::Medium::kWifi, net::Medium::kBluetooth});
   const auto chaosGuard = chaos::installFaultPlan(world, faults);
+  const auto evasionGuard = attacks::evasion::installEvasionPlan(world, evasion);
   world.start();
   harness.start();
   const Duration simulated = seconds(20 + 50 * 8 + 10);
@@ -58,7 +61,8 @@ ScenarioResult runIcmpFlood(SystemKind system, std::uint64_t seed,
 }
 
 ScenarioResult runSmurf(SystemKind system, std::uint64_t seed,
-                        const chaos::FaultPlan* faults) {
+                        const chaos::FaultPlan* faults,
+                        const attacks::evasion::EvasionPlan* evasion) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   SixlowpanTree tree = buildSixlowpanTree(world, seconds(3));
@@ -85,6 +89,7 @@ ScenarioResult runSmurf(SystemKind system, std::uint64_t seed,
   IdsHarness harness(simulator, IdsHarness::Options{system, "K1", {}, ""});
   harness.attach(world, tree.ids, {net::Medium::kIeee802154});
   const auto chaosGuard = chaos::installFaultPlan(world, faults);
+  const auto evasionGuard = attacks::evasion::installEvasionPlan(world, evasion);
   world.start();
   harness.start();
   const Duration simulated = seconds(20 + 50 * 8 + 10);
@@ -96,7 +101,8 @@ ScenarioResult runSmurf(SystemKind system, std::uint64_t seed,
 }
 
 ScenarioResult runSynFlood(SystemKind system, std::uint64_t seed,
-                           const chaos::FaultPlan* faults) {
+                           const chaos::FaultPlan* faults,
+                           const attacks::evasion::EvasionPlan* evasion) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   sim::InternetCloud cloud;
@@ -121,6 +127,7 @@ ScenarioResult runSynFlood(SystemKind system, std::uint64_t seed,
   IdsHarness harness(simulator, IdsHarness::Options{system, "K1", {}, ""});
   harness.attach(world, home.ids, {net::Medium::kWifi});
   const auto chaosGuard = chaos::installFaultPlan(world, faults);
+  const auto evasionGuard = attacks::evasion::installEvasionPlan(world, evasion);
   world.start();
   harness.start();
   const Duration simulated = seconds(20 + 50 * 8 + 10);

@@ -248,19 +248,36 @@ const std::vector<std::string>& scenarioNames() {
   return names;
 }
 
-std::vector<ScenarioResult> runAllScenarios(SystemKind system,
-                                            std::uint64_t seed,
-                                            const chaos::FaultPlan* faults) {
+std::vector<ScenarioResult> runAllScenarios(
+    SystemKind system, std::uint64_t seed, const chaos::FaultPlan* faults,
+    const attacks::evasion::EvasionPlan* evasion) {
   std::vector<ScenarioResult> results;
-  results.push_back(runIcmpFlood(system, seed, faults));
-  results.push_back(runSmurf(system, seed, faults));
-  results.push_back(runSynFlood(system, seed, faults));
-  results.push_back(runSelectiveForwarding(system, seed, faults));
-  results.push_back(runBlackhole(system, seed, faults));
-  results.push_back(runReplication(system, seed, faults));
-  results.push_back(runSybil(system, seed, faults));
-  results.push_back(runSinkhole(system, seed, faults));
+  for (const std::string& name : scenarioNames()) {
+    results.push_back(
+        *runScenarioByName(name, system, seed, faults, evasion));
+  }
   return results;
+}
+
+std::optional<ScenarioResult> runScenarioByName(
+    const std::string& name, SystemKind system, std::uint64_t seed,
+    const chaos::FaultPlan* faults,
+    const attacks::evasion::EvasionPlan* evasion) {
+  if (name == "ICMP Flood") {
+    return runIcmpFlood(system, seed, faults, evasion);
+  }
+  if (name == "Smurf") return runSmurf(system, seed, faults, evasion);
+  if (name == "SYN Flood") return runSynFlood(system, seed, faults, evasion);
+  if (name == "Selective Forwarding") {
+    return runSelectiveForwarding(system, seed, faults, evasion);
+  }
+  if (name == "Blackhole") return runBlackhole(system, seed, faults, evasion);
+  if (name == "Replication") {
+    return runReplication(system, seed, faults, evasion);
+  }
+  if (name == "Sybil") return runSybil(system, seed, faults, evasion);
+  if (name == "Sinkhole") return runSinkhole(system, seed, faults, evasion);
+  return std::nullopt;
 }
 
 }  // namespace kalis::scenarios

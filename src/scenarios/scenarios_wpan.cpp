@@ -2,6 +2,7 @@
 // sinkhole, and the §VI-B2 replication experiment.
 #include <memory>
 
+#include "attacks/evasion.hpp"
 #include "attacks/forwarding_attacks.hpp"
 #include "attacks/wpan_attacks.hpp"
 #include "scenarios/environments.hpp"
@@ -19,23 +20,28 @@ void markApplicability(ScenarioResult& result, IdsHarness& harness) {
   }
 }
 
-ScenarioResult runForwardingAttack(SystemKind system, std::uint64_t seed,
-                                   double dropProb, ids::AttackType type,
-                                   const char* name,
-                                   const chaos::FaultPlan* faults) {
+ScenarioResult runForwardingAttack(
+    SystemKind system, std::uint64_t seed, double dropProb,
+    ids::AttackType type, const char* name, const chaos::FaultPlan* faults,
+    const attacks::evasion::EvasionPlan* evasion) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   Wsn wsn = buildWsn(world, 5, seconds(3));
   metrics::GroundTruth truth;
 
-  // motes[1] (two hops in) relays motes[2..4]'s data and misbehaves.
+  // motes[1] (two hops in) relays motes[2..4]'s data and misbehaves. The
+  // forwarding family has no attacker-originated frames, so evasion here
+  // means dropping *less*: the relay's drop probability shrinks with the
+  // evasion budget toward the watchdog's detection floor.
   auto policy = std::make_shared<attacks::SelectiveForwardPolicy>(
-      dropProb, type, &truth, 50);
+      attacks::evasion::effectiveForwardDropProb(evasion, dropProb), type,
+      &truth, 50);
   wsn.moteAgents[1]->setForwardPolicy(policy);
 
   IdsHarness harness(simulator, IdsHarness::Options{system, "K1", {}, ""});
   harness.attach(world, wsn.ids, {net::Medium::kIeee802154});
   const auto chaosGuard = chaos::installFaultPlan(world, faults);
+  const auto evasionGuard = attacks::evasion::installEvasionPlan(world, evasion);
   world.start();
   harness.start();
   const Duration simulated = seconds(160);
@@ -48,21 +54,24 @@ ScenarioResult runForwardingAttack(SystemKind system, std::uint64_t seed,
 
 }  // namespace
 
-ScenarioResult runSelectiveForwarding(SystemKind system, std::uint64_t seed,
-                                      const chaos::FaultPlan* faults) {
+ScenarioResult runSelectiveForwarding(
+    SystemKind system, std::uint64_t seed, const chaos::FaultPlan* faults,
+    const attacks::evasion::EvasionPlan* evasion) {
   return runForwardingAttack(system, seed, 0.5,
                              ids::AttackType::kSelectiveForwarding,
-                             "Selective Forwarding", faults);
+                             "Selective Forwarding", faults, evasion);
 }
 
 ScenarioResult runBlackhole(SystemKind system, std::uint64_t seed,
-                            const chaos::FaultPlan* faults) {
+                            const chaos::FaultPlan* faults,
+                            const attacks::evasion::EvasionPlan* evasion) {
   return runForwardingAttack(system, seed, 1.0, ids::AttackType::kBlackhole,
-                             "Blackhole", faults);
+                             "Blackhole", faults, evasion);
 }
 
 ScenarioResult runSybil(SystemKind system, std::uint64_t seed,
-                        const chaos::FaultPlan* faults) {
+                        const chaos::FaultPlan* faults,
+                        const attacks::evasion::EvasionPlan* evasion) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   Wsn wsn = buildWsn(world, 5, seconds(3));
@@ -92,6 +101,7 @@ ScenarioResult runSybil(SystemKind system, std::uint64_t seed,
   IdsHarness harness(simulator, options);
   harness.attach(world, wsn.ids, {net::Medium::kIeee802154});
   const auto chaosGuard = chaos::installFaultPlan(world, faults);
+  const auto evasionGuard = attacks::evasion::installEvasionPlan(world, evasion);
   world.start();
   harness.start();
   const Duration simulated = seconds(90);
@@ -103,7 +113,8 @@ ScenarioResult runSybil(SystemKind system, std::uint64_t seed,
 }
 
 ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed,
-                           const chaos::FaultPlan* faults) {
+                           const chaos::FaultPlan* faults,
+                           const attacks::evasion::EvasionPlan* evasion) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   Wsn wsn = buildWsn(world, 5, seconds(3));
@@ -126,6 +137,7 @@ ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed,
   IdsHarness harness(simulator, IdsHarness::Options{system, "K1", {}, ""});
   harness.attach(world, wsn.ids, {net::Medium::kIeee802154});
   const auto chaosGuard = chaos::installFaultPlan(world, faults);
+  const auto evasionGuard = attacks::evasion::installEvasionPlan(world, evasion);
   world.start();
   harness.start();
   const Duration simulated = seconds(130);
@@ -137,7 +149,8 @@ ScenarioResult runSinkhole(SystemKind system, std::uint64_t seed,
 }
 
 ScenarioResult runReplication(SystemKind system, std::uint64_t seed,
-                              const chaos::FaultPlan* faults) {
+                              const chaos::FaultPlan* faults,
+                              const attacks::evasion::EvasionPlan* evasion) {
   sim::Simulator simulator(seed);
   sim::World world(simulator);
   ZigbeeStar star = buildZigbeeStar(world, 4, seconds(2));
@@ -202,6 +215,7 @@ ScenarioResult runReplication(SystemKind system, std::uint64_t seed,
   IdsHarness harness(simulator, options);
   harness.attach(world, star.ids, {net::Medium::kIeee802154});
   const auto chaosGuard = chaos::installFaultPlan(world, faults);
+  const auto evasionGuard = attacks::evasion::installEvasionPlan(world, evasion);
   world.start();
   harness.start();
   const Duration simulated = seconds(125);
